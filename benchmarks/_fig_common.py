@@ -1,0 +1,43 @@
+"""Shared driver for the Fig. 8/9/10 routing-switch sizing sweeps."""
+
+from conftest import print_table, save_results
+from repro.circuit.experiments import run_fig_sweep
+
+#: Reduced-but-representative sweep (the paper's width set).
+WIDTHS = [1.0, 2.0, 4.0, 8.0, 10.0, 16.0, 32.0, 64.0]
+LENGTHS = [1, 2, 4, 8]
+DT = 4e-12
+
+
+def run_fig(benchmark, fig: str, title: str) -> None:
+    sweep = benchmark.pedantic(
+        lambda: run_fig_sweep(fig, widths=WIDTHS, wire_lengths=LENGTHS,
+                              dt=DT),
+        iterations=1, rounds=1)
+    rows = []
+    optima = {}
+    for length, ms in sweep.items():
+        best = min(ms, key=lambda m: m.eda)
+        optima[length] = best.width_mult
+        for m in ms:
+            rows.append({
+                "wire_len": length,
+                "width_x": m.width_mult,
+                "energy_fJ": m.energy / 1e-15,
+                "delay_ps": m.delay / 1e-12,
+                "area_mwta": m.area,
+                "EDA": m.eda,
+                "opt": "*" if m is best else "",
+            })
+    print_table(title, rows, ["wire_len", "width_x", "energy_fJ",
+                              "delay_ps", "area_mwta", "EDA", "opt"])
+    print(f"optimum width per wire length: {optima}")
+    save_results(fig, {"rows": rows, "optima": optima})
+
+    # Reproduction targets (paper):
+    #  - short wires (1, 2, 4): optimum around 10x (8-16 tied);
+    #  - longer wires prefer larger switches (paper: 64x for length 8,
+    #    rejected on area; our calibration lands 16-32x).
+    for length in (1, 2, 4):
+        assert 4.0 <= optima[length] <= 16.0, (fig, length)
+    assert optima[8] > optima[1], fig

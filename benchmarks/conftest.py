@@ -1,0 +1,39 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the rows/series in the paper's format (plus writes JSON next to this
+file under ``results/``), so a run of
+
+    pytest benchmarks/ --benchmark-only
+
+reproduces the full evaluation section.  Absolute numbers come from our
+calibrated process model; the comparison target is the *shape*
+(orderings, optima, break-evens) -- see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_results(name: str, data) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(data, indent=2))
+
+
+def print_table(title: str, rows: list[dict], columns: list[str]) -> None:
+    print(f"\n=== {title} ===")
+    header = " | ".join(f"{c:>14}" for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join(f"{_fmt(row.get(c, '')):>14}" for c in columns))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.3g}"
+    return str(v)

@@ -1,0 +1,42 @@
+"""Eq. 1 exploration: CLB inputs I vs BLE utilisation.
+
+The paper provisions I = (K/2)(N+1) inputs per CLB, citing the
+~98 % BLE-utilisation exploration of Ahmed & Rose.  This bench packs a
+well-connected circuit while sweeping I and reports utilisation: it
+should saturate around the Eq. 1 value (12 for K=4, N=5), with smaller
+I wasting BLE slots.
+"""
+
+from conftest import print_table, save_results
+from repro.arch import eq1_inputs
+from repro.bench import random_logic
+from repro.pack import pack_netlist
+from repro.synth import optimize_and_map
+
+
+def _utilisation_sweep():
+    mapped = optimize_and_map(
+        random_logic("eq1", n_pi=14, n_po=8, n_nodes=220, seed=5),
+        4).network
+    rows = []
+    for i in range(4, 21, 2):
+        cn = pack_netlist(mapped, n=5, i=i, k=4)
+        rows.append({"I": i, "clusters": len(cn.clusters),
+                     "utilisation": cn.utilization()})
+    return rows
+
+
+def test_eq1_input_provisioning(benchmark):
+    rows = benchmark.pedantic(_utilisation_sweep, iterations=1,
+                              rounds=1)
+    print_table("Eq. 1: utilisation vs CLB inputs I", rows,
+                ["I", "clusters", "utilisation"])
+    save_results("eq1", rows)
+    by = {r["I"]: r for r in rows}
+    i_star = eq1_inputs(4, 5)
+    assert i_star == 12
+    # Utilisation at the Eq. 1 point must dominate starved clusters
+    # and be close to its saturation value.
+    u_sat = max(r["utilisation"] for r in rows)
+    assert by[i_star]["utilisation"] >= 0.9 * u_sat
+    assert by[4]["utilisation"] < by[i_star]["utilisation"]

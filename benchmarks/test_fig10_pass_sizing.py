@@ -1,0 +1,8 @@
+"""Fig. 10: E*D*A vs pass-transistor width, double width / double spacing."""
+
+from _fig_common import run_fig
+
+
+def test_fig10_double_width_double_spacing(benchmark):
+    run_fig(benchmark, "fig10",
+            "Fig. 10: EDA vs switch width (double W, double S)")

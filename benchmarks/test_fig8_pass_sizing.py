@@ -1,0 +1,8 @@
+"""Fig. 8: E*D*A vs pass-transistor width, min width / min spacing."""
+
+from _fig_common import run_fig
+
+
+def test_fig8_min_width_min_spacing(benchmark):
+    run_fig(benchmark, "fig8",
+            "Fig. 8: EDA vs switch width (min W, min S)")

@@ -1,0 +1,27 @@
+"""Fig. 9: E*D*A vs pass-transistor width, min width / double spacing.
+
+Double spacing lowers coupling capacitance, so every EDA point improves
+over Fig. 8 -- the paper picks this configuration for the platform.
+"""
+
+import json
+from pathlib import Path
+
+from _fig_common import run_fig
+from conftest import RESULTS_DIR
+
+
+def test_fig9_min_width_double_spacing(benchmark):
+    run_fig(benchmark, "fig9",
+            "Fig. 9: EDA vs switch width (min W, double S)")
+    # Cross-figure check (paper: "EDA product is improved in this
+    # case"): compare to Fig. 8 results if that bench already ran.
+    f8 = RESULTS_DIR / "fig8.json"
+    f9 = RESULTS_DIR / "fig9.json"
+    if f8.exists() and f9.exists():
+        r8 = {(r["wire_len"], r["width_x"]): r["EDA"]
+              for r in json.loads(f8.read_text())["rows"]}
+        r9 = {(r["wire_len"], r["width_x"]): r["EDA"]
+              for r in json.loads(f9.read_text())["rows"]}
+        better = sum(1 for k in r9 if k in r8 and r9[k] < r8[k])
+        assert better >= 0.8 * len(r9)

@@ -1,0 +1,30 @@
+"""Table 1: energy, worst-case delay and EDP of the five DETFFs.
+
+Paper values (STM 0.18 um, Cadence): energies ~100-128 fJ, delays
+~214-305 ps; Llopis 1 has the lowest total energy and is selected for
+the BLE.  Our reproduction targets the orderings; see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.circuit.experiments import run_table1
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(dt=2e-12)
+
+
+def test_table1_detff_comparison(benchmark, table1):
+    rows = benchmark.pedantic(lambda: run_table1(dt=2e-12),
+                              iterations=1, rounds=1)
+    print_table("Table 1: DETFF energy/delay/EDP",
+                rows, ["name", "energy_fJ", "delay_ps", "edp_fJ_ps",
+                       "functional"])
+    save_results("table1", rows)
+    by = {r["name"]: r for r in rows}
+    # Reproduction checks: the paper's selection criterion.
+    assert all(r["functional"] for r in rows)
+    e_min = min(r["energy_fJ"] for r in rows)
+    assert by["llopis1"]["energy_fJ"] == e_min

@@ -1,0 +1,27 @@
+"""Table 2: single vs gated clock energy at BLE level (Fig. 5).
+
+Paper: single 40.76 fJ; gated enable=1 43.44 fJ (+6.2 %); gated
+enable=0 9.31 fJ (-77 %).
+"""
+
+from conftest import print_table, save_results
+from repro.circuit.experiments import run_table2
+
+
+def test_table2_ble_clock_gating(benchmark):
+    data = benchmark.pedantic(lambda: run_table2(dt=2e-12),
+                              iterations=1, rounds=1)
+    rows = [
+        {"condition": "single clock", "energy_fJ": data["single_fJ"]},
+        {"condition": "gated, en=1", "energy_fJ": data["gated_en1_fJ"]},
+        {"condition": "gated, en=0", "energy_fJ": data["gated_en0_fJ"]},
+        {"condition": "saving en=0 (%)",
+         "energy_fJ": data["saving_en0_pct"]},
+        {"condition": "overhead en=1 (%)",
+         "energy_fJ": data["overhead_en1_pct"]},
+    ]
+    print_table("Table 2: BLE-level clock gating", rows,
+                ["condition", "energy_fJ"])
+    save_results("table2", data)
+    assert data["saving_en0_pct"] > 55.0           # paper: 77 %
+    assert abs(data["overhead_en1_pct"]) < 15.0    # paper: +6.2 %

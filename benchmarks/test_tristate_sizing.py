@@ -1,0 +1,40 @@
+"""Section 3.3.2: tri-state buffer routing-switch sizing.
+
+The paper omits the numbers for space but reports the conclusion:
+pass-transistor switches with length-1 wires at min-width/double-
+spacing win, and buffer width is capped at 16x because energy becomes
+prohibitive.  This bench regenerates the omitted sweep.
+"""
+
+from conftest import print_table, save_results
+from repro.circuit.experiments import run_fig_sweep
+from repro.circuit.interconnect import measure_routing
+
+
+def test_tristate_buffer_sizing(benchmark):
+    widths = [1.0, 2.0, 4.0, 8.0, 16.0]
+    sweep = benchmark.pedantic(
+        lambda: run_fig_sweep("fig9", widths=widths, wire_lengths=[1, 4],
+                              switch_type="tbuf", dt=4e-12),
+        iterations=1, rounds=1)
+    rows = []
+    for length, ms in sweep.items():
+        for m in ms:
+            rows.append({"wire_len": length, "width_x": m.width_mult,
+                         "energy_fJ": m.energy / 1e-15,
+                         "delay_ps": m.delay / 1e-12, "EDA": m.eda})
+    print_table("Sec 3.3.2: tri-state buffer sizing", rows,
+                ["wire_len", "width_x", "energy_fJ", "delay_ps", "EDA"])
+    save_results("tristate", rows)
+    # Energy grows steeply with buffer width (the paper's 16x cap).
+    for length, ms in sweep.items():
+        assert ms[-1].energy > ms[0].energy
+
+    # Conclusion check: pass transistors at the selected operating
+    # point cost less energy than buffers.
+    m_pass = measure_routing(width_mult=10, wire_length=1,
+                             metal_spacing=2.0, dt=4e-12)
+    m_tbuf = measure_routing(width_mult=10, wire_length=1,
+                             metal_spacing=2.0, switch_type="tbuf",
+                             dt=4e-12)
+    assert m_pass.energy < m_tbuf.energy

@@ -1,0 +1,103 @@
+"""Domain example: a serial "1101" sequence detector, VHDL to silicon.
+
+Exercises the richer synthesisable subset (selected assignments, FSM
+state register with synchronous reset, conditional assignments),
+pushes the design through the full flow, and cross-checks three
+representations against a golden Python model:
+
+  1. the synthesised logic network (post-DIVINER/E2FMT),
+  2. the optimised + LUT-mapped network (post-SIS),
+  3. the device simulator booted from the DAGGER bitstream.
+
+Run:  python examples/sequence_detector.py
+"""
+
+import random
+
+from repro.bitgen import unpack_bitstream
+from repro.bitgen.devicesim import (DeviceSimulator,
+                                    pad_map_from_placement)
+from repro.flow import DesignFlow, FlowOptions
+
+# Mealy-ish FSM over 2 state bits: detect the pattern 1-1-0-1.
+VHDL = """
+entity seqdet is
+  port (clk, rst, din : in std_logic;
+        hit : out std_logic);
+end entity;
+
+architecture rtl of seqdet is
+  signal st, nx : std_logic_vector(1 downto 0);
+begin
+  -- State encoding: 00 idle, 01 got '1', 10 got '11', 11 got '110'.
+  with st select nx(0) <=
+      din       when "00",
+      '0'       when "01",
+      not din   when "10",
+      din       when others;
+  with st select nx(1) <=
+      '0'          when "00",
+      din          when "01",
+      '1'          when "10",
+      '0'          when others;
+
+  hit <= '1' when (st = "11" and din = '1') else '0';
+
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        st <= "00";
+      else
+        st <= nx;
+      end if;
+    end if;
+  end process;
+end architecture;
+"""
+
+
+def golden(bits):
+    """Reference detector: emits 1 whenever ...1101 just arrived."""
+    state = 0
+    out = []
+    for b in bits:
+        out.append(1 if (state == 3 and b == 1) else 0)
+        if state == 0:
+            state = 1 if b else 0
+        elif state == 1:
+            state = 2 if b else 0
+        elif state == 2:
+            state = 3 if not b else 2
+        else:
+            state = 1 if b else 0
+    return out
+
+
+def main() -> None:
+    flow = DesignFlow(FlowOptions(seed=3))
+    result = flow.run(VHDL)
+    print("QoR:", result.summary())
+
+    rng = random.Random(2004)
+    bits = [rng.randint(0, 1) for _ in range(200)]
+    want = golden(bits)
+    vectors = [{"rst": 0, "din": b} for b in bits]
+
+    got_logic = [o["hit"] for o in result.logic.simulate(vectors)]
+    got_mapped = [o["hit"] for o in result.mapped.simulate(vectors)]
+    cfg = unpack_bitstream(result.bitstream, flow.options.arch)
+    device = DeviceSimulator(cfg,
+                             pad_map_from_placement(result.placement))
+    got_device = [o["hit"] for o in device.run(vectors)]
+
+    assert got_logic == want, "synthesised netlist disagrees"
+    assert got_mapped == want, "mapped netlist disagrees"
+    assert got_device == want, "programmed device disagrees"
+    print(f"All three representations match the golden model over "
+          f"{len(bits)} cycles "
+          f"({sum(want)} detections of pattern 1101).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Architecture model: parameters, DUTYS arch files, fabric, RR graph."""
+
+from .dutys import (generate_arch_file, load_arch_file, parse_arch_file,
+                    save_arch_file)
+from .fabric import FabricGrid, Site
+from .params import ArchParams, DEFAULT_ARCH, eq1_inputs
+from .rrgraph import RRGraph, RRNode, build_rr_graph
+
+__all__ = ["ArchParams", "DEFAULT_ARCH", "FabricGrid", "RRGraph",
+           "RRNode", "Site", "build_rr_graph", "eq1_inputs",
+           "generate_arch_file", "load_arch_file", "parse_arch_file",
+           "save_arch_file"]

@@ -1,0 +1,67 @@
+"""FPGA architecture parameters (the paper's platform, section 3).
+
+Defaults encode the selected architecture: cluster of N=5 BLEs, K=4
+LUTs, I=12 CLB inputs (Eq. 1), one clock per CLB, island-style routing
+with unit-length segments, pass-transistor switches 10x minimum width,
+disjoint switch boxes (Fs=3) and full connection-box flexibility
+(Fc=1.0), wires in metal 3 at minimum width / double spacing -- the
+choices sections 3.1-3.3 arrive at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+
+
+def eq1_inputs(k: int, n: int) -> int:
+    """Eq. 1: the CLB input count giving ~98 % BLE utilisation."""
+    return (k * (n + 1)) // 2
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """Architecture description consumed by DUTYS/VPR-role tools."""
+
+    name: str = "amdrel-lp"
+    n: int = 5                  # BLEs per CLB (cluster size)
+    k: int = 4                  # LUT inputs
+    i: int | None = None        # CLB inputs; None -> Eq. 1
+    outputs_per_clb: int | None = None   # None -> N (all registered)
+    io_rat: int = 2             # IO pads per perimeter grid location
+    channel_width: int = 12     # routing tracks per channel
+    segment_length: int = 1     # logic blocks spanned per wire
+    fc_in: float = 1.0          # connection-box input flexibility
+    fc_out: float = 1.0         # output flexibility
+    fs: int = 3                 # switch-box flexibility (disjoint)
+    switch_type: str = "pass"   # 'pass' | 'tbuf'
+    switch_width_mult: float = 10.0      # the sizing result of Fig. 8-10
+    metal_layer: str = "metal3"
+    metal_width_mult: float = 1.0
+    metal_spacing_mult: float = 2.0      # min width / double spacing
+    # Delay model anchors (calibrated from the circuit experiments).
+    lut_delay_s: float = 250e-12
+    ff_clk_to_q_s: float = 170e-12       # Llopis 1 measured
+    ff_setup_s: float = 120e-12
+    local_mux_delay_s: float = 120e-12   # 17:1 crossbar mux
+    clb_pitch_m: float = 120e-6
+
+    @property
+    def inputs_per_clb(self) -> int:
+        return self.i if self.i is not None else eq1_inputs(self.k,
+                                                            self.n)
+
+    @property
+    def clb_outputs(self) -> int:
+        return (self.outputs_per_clb if self.outputs_per_clb is not None
+                else self.n)
+
+    def grid_size_for(self, n_clbs: int, n_ios: int) -> int:
+        """Smallest square grid fitting the design (VPR's auto-size)."""
+        side_logic = max(1, math.ceil(math.sqrt(max(1, n_clbs))))
+        side_io = max(1, math.ceil(n_ios / (4 * self.io_rat)))
+        return max(side_logic, side_io)
+
+
+#: The architecture the paper's exploration selects.
+DEFAULT_ARCH = ArchParams()

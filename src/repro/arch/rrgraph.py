@@ -1,0 +1,212 @@
+"""Routing-resource graph for the island-style fabric.
+
+Node kinds (VPR terminology):
+
+* ``SOURCE`` / ``SINK`` -- per-block logical terminals.  All CLB input
+  pins reach one SINK (they are logically equivalent thanks to the
+  fully connected local crossbar); all CLB output pins leave one
+  SOURCE.
+* ``OPIN`` / ``IPIN`` -- physical block pins, distributed round-robin
+  over the four sides of a CLB.
+* ``CHANX`` / ``CHANY`` -- one node per track per channel segment
+  (unit-length segments by default).
+
+Edges: OPIN->track and track->IPIN per the connection-box flexibility
+(Fc = 1.0 connects every pin to every track of the adjacent channel);
+track<->track through *disjoint* switch boxes (track t connects only to
+track t in the other three directions, Fs = 3), bidirectional because
+the switches are pass transistors.
+
+Every track node carries its wire capacitance/resistance and the switch
+resistance/capacitance used by the Elmore timing and the power model,
+derived from the :class:`~repro.circuit.technology.Technology` metal
+stack and the architecture's switch sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuit.technology import STM018, Technology
+from .fabric import FabricGrid, Site
+from .params import ArchParams
+
+__all__ = ["RRNode", "RRGraph", "build_rr_graph"]
+
+
+@dataclass
+class RRNode:
+    """One routing-resource node."""
+
+    idx: int
+    kind: str                     # SOURCE/SINK/OPIN/IPIN/CHANX/CHANY
+    x: int
+    y: int
+    ptc: int                      # pin or track index
+    r_ohm: float = 0.0            # series resistance of this resource
+    c_f: float = 0.0              # capacitance of this resource
+    edges: list[int] = field(default_factory=list)
+
+    def pos(self) -> tuple[int, int]:
+        return (self.x, self.y)
+
+
+class RRGraph:
+    """Routing-resource graph with lookup tables for the router."""
+
+    def __init__(self, arch: ArchParams, grid: FabricGrid,
+                 tech: Technology = STM018):
+        self.arch = arch
+        self.grid = grid
+        self.tech = tech
+        self.nodes: list[RRNode] = []
+        self._chan: dict[tuple[str, int, int, int], int] = {}
+        self._source: dict[tuple, int] = {}
+        self._sink: dict[tuple, int] = {}
+        self.switch_r: float = 0.0
+        self.switch_c: float = 0.0
+
+    # -- construction helpers -------------------------------------------
+    def _new(self, kind: str, x: int, y: int, ptc: int,
+             r: float = 0.0, c: float = 0.0) -> int:
+        idx = len(self.nodes)
+        self.nodes.append(RRNode(idx, kind, x, y, ptc, r, c))
+        return idx
+
+    def _edge(self, a: int, b: int) -> None:
+        self.nodes[a].edges.append(b)
+
+    def _biedge(self, a: int, b: int) -> None:
+        self._edge(a, b)
+        self._edge(b, a)
+
+    # -- lookups ----------------------------------------------------------
+    def chan_node(self, kind: str, x: int, y: int, track: int) -> int:
+        return self._chan[(kind, x, y, track)]
+
+    def source_of(self, site: Site) -> int:
+        return self._source[site.key()]
+
+    def sink_of(self, site: Site) -> int:
+        return self._sink[site.key()]
+
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def track_nodes(self) -> list[RRNode]:
+        return [n for n in self.nodes if n.kind in ("CHANX", "CHANY")]
+
+    def stats(self) -> dict[str, int]:
+        by_kind: dict[str, int] = {}
+        for n in self.nodes:
+            by_kind[n.kind] = by_kind.get(n.kind, 0) + 1
+        by_kind["edges"] = sum(len(n.edges) for n in self.nodes)
+        return by_kind
+
+
+def _switch_rc(arch: ArchParams, tech: Technology) -> tuple[float, float]:
+    """Equivalent R and parasitic C of one routing switch."""
+    w = arch.switch_width_mult * tech.w_min
+    # On-resistance of an NMOS pass transistor in triode at Vdd gate:
+    vov = tech.vdd - tech.vt_n
+    r_on = 1.0 / (tech.beta(w, ptype=False) * vov)
+    c_par = 2.0 * tech.junction_cap(w)
+    if arch.switch_type == "tbuf":
+        # Buffer drive of the second stage plus its input gate.
+        r_on = 1.0 / (tech.beta(w, ptype=False) * vov) * 1.3
+        c_par = tech.gate_cap(tech.w_min) + tech.junction_cap(w)
+    return r_on, c_par
+
+
+def build_rr_graph(arch: ArchParams, size: int,
+                   tech: Technology = STM018) -> RRGraph:
+    """Construct the full routing-resource graph for a square fabric."""
+    grid = FabricGrid(arch, size)
+    g = RRGraph(arch, grid, tech)
+    w_chan = arch.channel_width
+
+    metal = tech.metal(arch.metal_layer)
+    seg_len_m = arch.segment_length * arch.clb_pitch_m
+    wire_r = metal.wire_res_per_m(arch.metal_width_mult) * seg_len_m
+    wire_c = metal.wire_cap_per_m(arch.metal_width_mult,
+                                  arch.metal_spacing_mult) * seg_len_m
+    g.switch_r, g.switch_c = _switch_rc(arch, tech)
+
+    # Track nodes.
+    for x, y in grid.chanx_positions():
+        for t in range(w_chan):
+            g._chan[("chanx", x, y, t)] = g._new("CHANX", x, y, t,
+                                                 wire_r, wire_c)
+    for x, y in grid.chany_positions():
+        for t in range(w_chan):
+            g._chan[("chany", x, y, t)] = g._new("CHANY", x, y, t,
+                                                 wire_r, wire_c)
+
+    # Disjoint switch boxes at every channel corner.
+    for cx in range(0, size + 1):
+        for cy in range(0, size + 1):
+            for t in range(w_chan):
+                meet = []
+                if cx >= 1:
+                    meet.append(("chanx", cx, cy, t))
+                if cx + 1 <= size:
+                    meet.append(("chanx", cx + 1, cy, t))
+                if cy >= 1:
+                    meet.append(("chany", cx, cy, t))
+                if cy + 1 <= size:
+                    meet.append(("chany", cx, cy + 1, t))
+                ids = [g._chan[m] for m in meet]
+                for a in range(len(ids)):
+                    for b in range(a + 1, len(ids)):
+                        g._biedge(ids[a], ids[b])
+
+    c_ipin = 2.0 * tech.gate_cap(tech.w_min)   # input buffer gate
+    n_in = arch.inputs_per_clb
+    n_out = arch.clb_outputs
+
+    def connect_pin_to_channel(pin_idx: int, chan: tuple[str, int, int],
+                               *, into_pin: bool) -> None:
+        kind, x, y = chan
+        for t in range(w_chan):
+            track = g._chan[(kind, x, y, t)]
+            if into_pin:
+                g._edge(track, pin_idx)
+            else:
+                g._edge(pin_idx, track)
+
+    # CLB pins, sources and sinks.
+    for site in grid.clb_sites():
+        x, y = site.x, site.y
+        chans = grid.clb_channels(x, y)
+        src = g._new("SOURCE", x, y, 0)
+        snk = g._new("SINK", x, y, 1)
+        g._source[site.key()] = src
+        g._sink[site.key()] = snk
+        for p in range(n_in):
+            ipin = g._new("IPIN", x, y, p, 0.0, c_ipin)
+            g._edge(ipin, snk)
+            connect_pin_to_channel(ipin, chans[p % 4], into_pin=True)
+        for p in range(n_out):
+            opin = g._new("OPIN", x, y, n_in + p, g.switch_r,
+                          g.switch_c)
+            g._edge(src, opin)
+            connect_pin_to_channel(opin, chans[p % 4], into_pin=False)
+
+    # IO pads: one OPIN (pad drives fabric) and one IPIN (fabric drives
+    # pad) each, both usable depending on pad direction.
+    for site in grid.io_sites():
+        chan = grid.io_channel(site)
+        src = g._new("SOURCE", site.x, site.y, site.sub * 4)
+        snk = g._new("SINK", site.x, site.y, site.sub * 4 + 1)
+        g._source[site.key()] = src
+        g._sink[site.key()] = snk
+        opin = g._new("OPIN", site.x, site.y, site.sub * 4 + 2,
+                      g.switch_r, g.switch_c)
+        ipin = g._new("IPIN", site.x, site.y, site.sub * 4 + 3,
+                      0.0, c_ipin)
+        g._edge(src, opin)
+        g._edge(ipin, snk)
+        connect_pin_to_channel(opin, chan, into_pin=False)
+        connect_pin_to_channel(ipin, chan, into_pin=True)
+
+    return g

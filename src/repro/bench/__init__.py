@@ -1,0 +1,9 @@
+"""Synthetic benchmark circuit generators (MCNC-class substitute)."""
+
+from .generators import (alu_slice, counter, crc8, gray_counter, lfsr,
+                         mcnc_class_suite, parity_tree, random_logic,
+                         shift_register)
+
+__all__ = ["alu_slice", "counter", "crc8", "gray_counter", "lfsr",
+           "mcnc_class_suite", "parity_tree", "random_logic",
+           "shift_register"]

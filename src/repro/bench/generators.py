@@ -1,0 +1,237 @@
+"""Synthetic benchmark circuits (the MCNC LGSynth93 substitute).
+
+The paper's tool references benchmark against the MCNC suite, which is
+no longer distributable.  These deterministic generators produce
+circuits of the same class and size range -- random multi-level logic
+cones, counters, shift registers, LFSRs, CRCs, ALU slices, parity
+trees -- as :class:`~repro.netlist.logic.LogicNetwork` objects ready
+for the flow.  Everything is seeded, so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist.logic import LogicNetwork
+
+__all__ = ["random_logic", "counter", "shift_register", "lfsr", "crc8",
+           "alu_slice", "parity_tree", "gray_counter", "mcnc_class_suite"]
+
+
+def random_logic(name: str, *, n_pi: int = 10, n_po: int = 5,
+                 n_nodes: int = 60, max_fanin: int = 4,
+                 seed: int = 0, registered: bool = False
+                 ) -> LogicNetwork:
+    """A random multi-level DAG with random SOP covers."""
+    rng = random.Random(seed)
+    net = LogicNetwork(name)
+    pool: list[str] = []
+    for i in range(n_pi):
+        pool.append(net.add_input(f"pi{i}"))
+    for j in range(n_nodes):
+        k = rng.randint(2, max_fanin)
+        fanins = rng.sample(pool, min(k, len(pool)))
+        n_in = len(fanins)
+        # Random non-trivial on-set: pick 1..2^n-1 minterms.
+        n_mt = rng.randint(1, (1 << n_in) - 1)
+        minterms = rng.sample(range(1 << n_in), n_mt)
+        cover = ["".join(str((m >> i) & 1) for i in range(n_in))
+                 for m in minterms]
+        node = f"n{j}"
+        net.add_node(node, fanins, cover)
+        pool.append(node)
+    # Last nodes become outputs (they depend on the most logic).
+    po_sources = pool[-n_po:]
+    if registered:
+        for i, src in enumerate(po_sources):
+            q = f"r{i}"
+            net.add_latch(src, q, control="clk")
+            net.add_node(f"po{i}", [q], ["1"])
+            net.add_output(f"po{i}")
+    else:
+        for i, src in enumerate(po_sources):
+            net.add_node(f"po{i}", [src], ["1"])
+            net.add_output(f"po{i}")
+    net.validate()
+    return net
+
+
+def counter(width: int = 8, *, name: str | None = None) -> LogicNetwork:
+    """A width-bit binary counter with synchronous enable."""
+    name = name or f"count{width}"
+    net = LogicNetwork(name)
+    net.add_input("en")
+    carry = "en"
+    for i in range(width):
+        q = f"q{i}"
+        net.add_latch(f"d{i}", q, control="clk")
+        net.add_node(f"d{i}", [q, carry], ["10", "01"])   # q XOR carry
+        if i < width - 1:
+            nxt = f"c{i}"
+            net.add_node(nxt, [q, carry], ["11"])
+            carry = nxt
+        net.add_node(f"out{i}", [q], ["1"])
+        net.add_output(f"out{i}")
+    net.validate()
+    return net
+
+
+def shift_register(length: int = 16, *,
+                   name: str | None = None) -> LogicNetwork:
+    """A serial-in serial-out shift register."""
+    name = name or f"shift{length}"
+    net = LogicNetwork(name)
+    net.add_input("sin")
+    prev = "sin"
+    for i in range(length):
+        q = f"s{i}"
+        net.add_latch(prev, q, control="clk")
+        prev = q
+    net.add_node("sout", [prev], ["1"])
+    net.add_output("sout")
+    net.validate()
+    return net
+
+
+def lfsr(width: int = 8, taps: tuple[int, ...] = (0, 2, 3, 4), *,
+         name: str | None = None) -> LogicNetwork:
+    """A Fibonacci LFSR (XOR feedback of ``taps``)."""
+    name = name or f"lfsr{width}"
+    net = LogicNetwork(name)
+    net.add_input("seed_in")        # ORed into the feedback to seed
+    regs = [f"r{i}" for i in range(width)]
+    # Feedback: parity of tapped bits.
+    fb = "seed_in"
+    for t in taps:
+        if t >= width:
+            raise ValueError("tap beyond register width")
+        nxt = f"fb{t}"
+        net.add_node(nxt, [fb, regs[t]], ["10", "01"])
+        fb = nxt
+    net.add_latch(fb, regs[0], control="clk")
+    for i in range(1, width):
+        net.add_latch(regs[i - 1], regs[i], control="clk")
+    for i in range(width):
+        net.add_node(f"out{i}", [regs[i]], ["1"])
+        net.add_output(f"out{i}")
+    net.validate()
+    return net
+
+
+def crc8(*, name: str = "crc8") -> LogicNetwork:
+    """Serial CRC-8 (poly x^8 + x^2 + x + 1) over a bit stream."""
+    net = LogicNetwork(name)
+    net.add_input("din")
+    regs = [f"c{i}" for i in range(8)]
+    # fb = din XOR c7
+    net.add_node("fb", ["din", regs[7]], ["10", "01"])
+    taps = {0, 1, 2}
+    prev_q = None
+    for i in range(8):
+        d = f"d{i}"
+        if i == 0:
+            net.add_node(d, ["fb"], ["1"])
+        elif i in taps:
+            net.add_node(d, [regs[i - 1], "fb"], ["10", "01"])
+        else:
+            net.add_node(d, [regs[i - 1]], ["1"])
+        net.add_latch(d, regs[i], control="clk")
+    for i in range(8):
+        net.add_node(f"crc{i}", [regs[i]], ["1"])
+        net.add_output(f"crc{i}")
+    net.validate()
+    return net
+
+
+def alu_slice(width: int = 4, *, name: str | None = None) -> LogicNetwork:
+    """A small ALU: add, and, or, xor selected by 2 opcode bits."""
+    name = name or f"alu{width}"
+    net = LogicNetwork(name)
+    for i in range(width):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+    net.add_input("op0")
+    net.add_input("op1")
+    carry = None
+    for i in range(width):
+        a, b = f"a{i}", f"b{i}"
+        net.add_node(f"xor{i}", [a, b], ["10", "01"])
+        net.add_node(f"and{i}", [a, b], ["11"])
+        net.add_node(f"or{i}", [a, b], ["1-", "-1"])
+        if carry is None:
+            net.add_node(f"sum{i}", [f"xor{i}"], ["1"])
+            carry = f"and{i}"
+        else:
+            net.add_node(f"sum{i}", [f"xor{i}", carry],
+                         ["10", "01"])
+            net.add_node(f"cy{i}", [a, b, carry],
+                         ["11-", "1-1", "-11"])
+            carry = f"cy{i}"
+        # Output mux over op bits: 00 add, 01 and, 10 or, 11 xor.
+        net.add_node(
+            f"y{i}",
+            ["op1", "op0", f"sum{i}", f"and{i}", f"or{i}", f"xor{i}"],
+            ["001---", "01-1--", "10--1-", "11---1"])
+        net.add_output(f"y{i}")
+    net.add_node("cout", [carry], ["1"])
+    net.add_output("cout")
+    net.validate()
+    return net
+
+
+def parity_tree(n_inputs: int = 16, *,
+                name: str | None = None) -> LogicNetwork:
+    """XOR reduction tree (classic LUT-depth benchmark)."""
+    name = name or f"parity{n_inputs}"
+    net = LogicNetwork(name)
+    level = [net.add_input(f"i{k}") for k in range(n_inputs)]
+    j = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            node = f"x{j}"
+            j += 1
+            net.add_node(node, [level[i], level[i + 1]], ["10", "01"])
+            nxt.append(node)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    net.add_node("parity", [level[0]], ["1"])
+    net.add_output("parity")
+    net.validate()
+    return net
+
+
+def gray_counter(width: int = 4, *,
+                 name: str | None = None) -> LogicNetwork:
+    """Binary counter with Gray-coded outputs."""
+    name = name or f"gray{width}"
+    net = counter(width, name=name)
+    # Replace outputs: g[i] = q[i] XOR q[i+1]; g[msb] = q[msb].
+    for i in range(width):
+        del net.nodes[f"out{i}"]
+        if i < width - 1:
+            net.add_node(f"out{i}", [f"q{i}", f"q{i + 1}"],
+                         ["10", "01"])
+        else:
+            net.add_node(f"out{i}", [f"q{i}"], ["1"])
+    net.validate()
+    return net
+
+
+def mcnc_class_suite(*, seed: int = 7) -> list[LogicNetwork]:
+    """A suite of circuits spanning the MCNC small/medium size range."""
+    return [
+        counter(8),
+        gray_counter(6),
+        shift_register(16),
+        lfsr(12, (0, 3, 5, 11)),
+        crc8(),
+        alu_slice(4),
+        parity_tree(16),
+        random_logic("rand_s", n_pi=8, n_po=4, n_nodes=40, seed=seed),
+        random_logic("rand_m", n_pi=14, n_po=8, n_nodes=120,
+                     seed=seed + 1),
+        random_logic("rand_seq", n_pi=10, n_po=6, n_nodes=80,
+                     seed=seed + 2, registered=True),
+    ]

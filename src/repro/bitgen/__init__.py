@@ -1,0 +1,10 @@
+"""DAGGER role: bitstream generation, decoding and verification."""
+
+from .bitstream import (BitstreamConfig, BitstreamError, ClbConfig,
+                        IoConfig, SwitchBoxConfig, generate_bitstream,
+                        generate_config, pack_bitstream,
+                        unpack_bitstream)
+
+__all__ = ["BitstreamConfig", "BitstreamError", "ClbConfig", "IoConfig",
+           "SwitchBoxConfig", "generate_bitstream", "generate_config",
+           "pack_bitstream", "unpack_bitstream"]

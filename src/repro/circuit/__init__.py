@@ -1,0 +1,26 @@
+"""Transistor-level platform model (the paper's section 3).
+
+Public surface:
+
+* :class:`~repro.circuit.technology.Technology` / ``STM018`` -- process
+* :class:`~repro.circuit.network.Circuit` -- netlist builder
+* :func:`~repro.circuit.simulator.simulate` -- transient analysis
+* :mod:`~repro.circuit.cells` / :mod:`~repro.circuit.flipflops` -- cell
+  and DETFF library
+* :mod:`~repro.circuit.experiments` -- Table 1/2/3 and Fig. 8/9/10
+  drivers
+"""
+
+from .network import Circuit
+from .simulator import TransientResult, TransientSimulator, simulate
+from .technology import MetalLayer, STM018, Technology
+
+__all__ = [
+    "Circuit",
+    "MetalLayer",
+    "STM018",
+    "Technology",
+    "TransientResult",
+    "TransientSimulator",
+    "simulate",
+]

@@ -1,0 +1,161 @@
+"""Gated-clock experiment circuits (Tables 2 and 3, Figs. 5 and 6).
+
+The paper evaluates clock gating at two levels:
+
+* **BLE level (Fig. 5 / Table 2)** -- a driver chain feeds the DETFF
+  clock either directly or through a NAND gate controlled by
+  ``clock_enable``.  The extra NAND input capacitance costs a few
+  percent when enabled; when disabled the flip-flop (and everything
+  after the gate) stops switching.
+
+* **CLB level (Fig. 6 / Table 3)** -- the CLB's local clock network
+  (five BLE clock loads plus wiring) is driven either directly or
+  through a CLB-level NAND.  Gating saves the whole local network's
+  energy when all five flip-flops are idle, but inserts the NAND's
+  switching energy (and its weaker drive) into the active path.
+
+The flip-flop used is the paper's selection, Llopis 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cells import inverter, nand2
+from .flipflops import detff_llopis1
+from .network import Circuit
+from .waveforms import PWL, clock, dc, pulse_train
+
+#: Local clock-network wire capacitance inside a CLB (F).  Five BLE
+#: branches of roughly 25 um of metal-1 each.
+CLB_CLOCK_WIRE_CAP = 6e-15
+
+#: Flip-flop output load (a BLE output 2:1 mux input), F.
+FF_LOAD = 1.5e-15
+
+
+@dataclass(frozen=True)
+class GatedClockSetup:
+    """A built experiment circuit plus its measurement window."""
+
+    circuit: Circuit
+    t_start: float      # steady-state measurement window start
+    t_end: float        # window end (one full clock period later)
+    t_sim: float        # total simulation time
+
+
+def _data_wave(period: float, n_cycles: int, vdd: float,
+               active: bool) -> PWL:
+    """FF data input: toggles every half period when active, else 0."""
+    if not active:
+        return dc(0.0)
+    edges = []
+    v = vdd
+    # Change data a quarter period after each clock edge so each clock
+    # edge captures a fresh value -> Q transitions on every edge.
+    for i in range(2 * n_cycles):
+        t = (0.5 + i) * period / 2.0
+        edges.append((t, v))
+        v = vdd - v
+    return pulse_train(edges, v_init=0.0)
+
+
+def build_ble_clock(*, gated: bool, enable: int | None = None,
+                    period: float = 2e-9, n_cycles: int = 4,
+                    data_active: bool = True) -> GatedClockSetup:
+    """Fig. 5 circuit: driver chain [-> NAND] -> DETFF.
+
+    ``gated=False`` builds Fig. 5a (single clock, two-inverter chain);
+    ``gated=True`` builds Fig. 5b with the chain driving a NAND whose
+    other input is ``enable`` (0 or 1).
+    """
+    ckt = Circuit(title="ble-gated-clock" if gated else "ble-single-clock")
+    vdd = ckt.tech.vdd
+    clk_in = ckt.node("clk_in")
+    ckt.voltage_source(clk_in, clock(period, n_cycles, vdd))
+
+    # Driver chain (the shaded inverters of Fig. 5, which expose the
+    # NAND's extra input capacitance to the measurement).  In the gated
+    # variant the NAND *replaces* the final inverter, so the only
+    # overhead when enabled is the NAND's larger input capacitance and
+    # internal node -- the ~6 % effect the paper reports.
+    c1 = ckt.node("chain1")
+    c2 = ckt.node("chain2")
+    inverter(ckt, clk_in, c1, wn=1.0, wp=2.0, name="dr0")
+    inverter(ckt, c1, c2, wn=1.0, wp=2.0, name="dr1")
+    ffclk = ckt.node("ffclk")
+
+    if gated:
+        if enable not in (0, 1):
+            raise ValueError("gated clock needs enable 0 or 1")
+        en = ckt.node("enable")
+        ckt.voltage_source(en, dc(vdd if enable else 0.0))
+        nand2(ckt, c2, en, ffclk, wn=1.5, wp=1.5, name="gate")
+    else:
+        inverter(ckt, c2, ffclk, wn=1.0, wp=2.0, name="dr2")
+
+    d = ckt.node("d")
+    q = ckt.node("q")
+    # Data toggles only when the FF is meant to be switching: with the
+    # gate closed (enable=0) the datum is alive upstream but the FF must
+    # not respond; keep data toggling to expose any leak-through.
+    ckt.voltage_source(d, _data_wave(period, n_cycles, vdd, data_active))
+    detff_llopis1(ckt, d, ffclk, q, "ff")
+    ckt.capacitor(q, FF_LOAD)
+
+    t_start = (n_cycles - 2) * period
+    return GatedClockSetup(ckt, t_start, t_start + period,
+                           n_cycles * period)
+
+
+#: Clock-pin capacitance presented by one DETFF (F).  The Llopis 1 FF
+#: loads its clock input with the local clkb inverter plus one TG gate
+#: per latch and the mux select -- a small pin.
+FF_CLOCK_PIN_CAP = 1.0e-15
+
+
+def build_clb_clock(*, gated: bool, n_on: int, n_ble: int = 5,
+                    period: float = 2e-9,
+                    n_cycles: int = 4) -> GatedClockSetup:
+    """Fig. 6 circuit: root driver [-> CLB NAND] -> local net -> 5 BLEs.
+
+    Like the paper's Fig. 6 measurement, this characterises the *clock
+    distribution* energy only: each BLE contributes its gating NAND and
+    the flip-flop clock-pin capacitance as load (the FF internals and
+    data path are excluded; Table 2 covers those).  ``n_on`` of the
+    ``n_ble`` BLE enables are high.  With ``gated=True`` a CLB-level
+    NAND sits between the root driver and the local network; its enable
+    is the OR of the BLE enables (0 only when every FF is off).
+    """
+    if not 0 <= n_on <= n_ble:
+        raise ValueError("n_on out of range")
+    ckt = Circuit(title="clb-gated-clock" if gated else "clb-single-clock")
+    vdd = ckt.tech.vdd
+    clk_in = ckt.node("clk_in")
+    ckt.voltage_source(clk_in, clock(period, n_cycles, vdd))
+
+    # Root driver; in the gated variant the CLB NAND replaces the final
+    # stage, so an idle CLB stops everything downstream of one inverter.
+    c1 = ckt.node("root1")
+    net = ckt.node("clknet")
+    inverter(ckt, clk_in, c1, wn=1.0, wp=2.0, name="root0")
+    if gated:
+        clb_en = ckt.node("clb_en")
+        ckt.voltage_source(clb_en, dc(vdd if n_on > 0 else 0.0))
+        nand2(ckt, c1, clb_en, net, wn=3.0, wp=3.0, name="clbgate")
+    else:
+        inverter(ckt, c1, net, wn=2.0, wp=4.0, name="root1")
+
+    ckt.capacitor(net, CLB_CLOCK_WIRE_CAP, name="clknet_wire")
+
+    for i in range(n_ble):
+        on = i < n_on
+        en = ckt.node(f"en{i}")
+        ckt.voltage_source(en, dc(vdd if on else 0.0))
+        ffclk = ckt.node(f"ffclk{i}")
+        nand2(ckt, net, en, ffclk, wn=1.0, wp=1.0, name=f"blegate{i}")
+        ckt.capacitor(ffclk, FF_CLOCK_PIN_CAP, name=f"ffpin{i}")
+
+    t_start = (n_cycles - 2) * period
+    return GatedClockSetup(ckt, t_start, t_start + period,
+                           n_cycles * period)

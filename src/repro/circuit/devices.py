@@ -1,0 +1,65 @@
+"""Primitive circuit elements for the transistor-level simulator.
+
+Only three element types are needed to express everything the paper
+simulates (FPGA cells, flip-flops, clock networks, routing wires):
+
+* :class:`Mosfet` -- square-law NMOS/PMOS switch, symmetric in D/S;
+* :class:`Resistor` -- linear two-terminal resistor (wire segments);
+* :class:`Capacitor` -- linear capacitor from a node to ground (device
+  parasitics and wire capacitance are lumped here).
+
+Elements store *node indices* into their owning :class:`~repro.circuit.
+network.Circuit`; the simulator compiles them into flat NumPy arrays so
+that per-timestep device evaluation is fully vectorised (one pass over
+all MOSFETs, no Python loop) as the HPC guides prescribe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """A MOSFET between drain ``d`` and source ``s`` gated by ``g``.
+
+    ``ptype`` selects PMOS; ``w``/``l`` are the drawn width/length in
+    metres.  The model is drain/source symmetric: the simulator treats
+    whichever terminal is at the lower potential as the effective source
+    (NMOS) or higher potential (PMOS), so pass transistors "just work".
+    """
+
+    d: int
+    g: int
+    s: int
+    w: float
+    l: float
+    ptype: bool
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Linear resistor of ``r`` ohms between nodes ``a`` and ``b``."""
+
+    a: int
+    b: int
+    r: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.r <= 0:
+            raise ValueError(f"resistor {self.name!r} must have r > 0")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Linear capacitor of ``c`` farads from node ``n`` to ground."""
+
+    n: int
+    c: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.c < 0:
+            raise ValueError(f"capacitor {self.name!r} must have c >= 0")

@@ -1,0 +1,171 @@
+"""End-to-end experiment drivers for the platform-side tables and figures.
+
+Each function reproduces one published artifact and returns plain data
+structures (lists of row dicts) so the benchmark harness, tests and
+examples can all share them:
+
+* :func:`run_table1` -- DETFF energy / worst-case delay / EDP (Table 1)
+* :func:`run_table2` -- BLE-level single vs gated clock (Table 2)
+* :func:`run_table3` -- CLB-level single vs gated clock (Table 3)
+* :func:`run_fig_sweep` -- E*D*A vs routing switch width (Figs. 8-10
+  and the section 3.3.2 tri-state buffer study)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .clockgate import GatedClockSetup, build_ble_clock, build_clb_clock
+from .flipflops import DETFF_VARIANTS
+from .interconnect import RoutingMeasurement, sweep_pass_transistor
+from .metrics import crossing_times, worst_case_delay
+from .network import Circuit
+from .simulator import simulate
+from .technology import Technology, STM018
+from .waveforms import fig4_stimulus
+
+#: Flip-flop output load during characterisation (F).
+FF_CHAR_LOAD = 1.5e-15
+
+#: Width sweep used by the paper in Figs. 8-10 (multiples of minimum).
+FIG_WIDTHS = [1.0, 2.0, 4.0, 8.0, 10.0, 16.0, 32.0, 64.0]
+
+#: Logical wire lengths evaluated in Figs. 8-10.
+FIG_WIRE_LENGTHS = [1, 2, 4, 8]
+
+#: Metal configurations of Figs. 8, 9 and 10 respectively.
+FIG_METAL_CONFIGS = {
+    "fig8": {"metal_width": 1.0, "metal_spacing": 1.0},
+    "fig9": {"metal_width": 1.0, "metal_spacing": 2.0},
+    "fig10": {"metal_width": 2.0, "metal_spacing": 2.0},
+}
+
+
+def characterize_detff(name: str, *, tech: Technology = STM018,
+                       dt: float = 1e-12) -> dict[str, float]:
+    """Characterise one DETFF with the Fig. 4 stimulus.
+
+    Returns total supply energy over the sequence, worst-case
+    clock-to-Q delay over all edge/data combinations, their product,
+    and a functional-correctness flag (Q equals D-at-edge after every
+    clock edge).
+    """
+    builder = DETFF_VARIANTS[name]
+    ckt = Circuit(tech=tech, title=f"detff-{name}")
+    d = ckt.node("d")
+    clk = ckt.node("clk")
+    q = ckt.node("q")
+    builder(ckt, d, clk, q, "ff")
+    ckt.capacitor(q, FF_CHAR_LOAD)
+    clkw, dataw, t_end = fig4_stimulus(tech.vdd)
+    ckt.voltage_source(clk, clkw)
+    ckt.voltage_source(d, dataw)
+    res = simulate(ckt, t_end, dt=dt)
+
+    t = res.time
+    vq, vd, vc = res.v("q"), res.v("d"), res.v("clk")
+    th = tech.vdd / 2.0
+    functional = True
+    for te in crossing_times(t, vc, th):
+        i_before = np.searchsorted(t, te - 10e-12)
+        i_after = min(np.searchsorted(t, te + 800e-12), len(t) - 1)
+        if (vd[i_before] > th) != (vq[i_after] > th):
+            functional = False
+    energy = res.energy
+    delay = worst_case_delay(t, vc, vq, tech.vdd, max_delay=0.9e-9)
+    return {
+        "name": name,
+        "energy_fJ": energy / 1e-15,
+        "delay_ps": delay / 1e-12,
+        "edp_fJ_ps": energy * delay / 1e-27,
+        "functional": functional,
+    }
+
+
+def run_table1(*, tech: Technology = STM018,
+               dt: float = 1e-12) -> list[dict[str, float]]:
+    """Table 1: all five DETFF candidates, in the paper's row order."""
+    return [characterize_detff(name, tech=tech, dt=dt)
+            for name in DETFF_VARIANTS]
+
+
+def _cycle_energy(setup: GatedClockSetup, dt: float) -> float:
+    """Supply energy over one steady-state clock period (J)."""
+    res = simulate(setup.circuit, setup.t_sim, dt=dt)
+    return res.energy_between(setup.t_start, setup.t_end)
+
+
+def run_table2(*, dt: float = 1e-12) -> dict[str, float]:
+    """Table 2: BLE-level single vs gated clock energies (fJ/cycle).
+
+    Returns single-clock energy, gated energy with enable=1 and
+    enable=0, and the derived percentages the paper quotes (saving at
+    enable=0, overhead at enable=1).
+    """
+    e_single = _cycle_energy(build_ble_clock(gated=False), dt)
+    e_gate1 = _cycle_energy(build_ble_clock(gated=True, enable=1), dt)
+    e_gate0 = _cycle_energy(
+        build_ble_clock(gated=True, enable=0, data_active=False), dt)
+    return {
+        "single_fJ": e_single / 1e-15,
+        "gated_en1_fJ": e_gate1 / 1e-15,
+        "gated_en0_fJ": e_gate0 / 1e-15,
+        "saving_en0_pct": 100.0 * (1.0 - e_gate0 / e_single),
+        "overhead_en1_pct": 100.0 * (e_gate1 / e_single - 1.0),
+    }
+
+
+def run_table3(*, dt: float = 1e-12) -> list[dict[str, float]]:
+    """Table 3: CLB-level single vs gated clock for three conditions."""
+    rows = []
+    for label, n_on in (("all_off", 0), ("one_on", 1), ("all_on", 5)):
+        e_single = _cycle_energy(build_clb_clock(gated=False, n_on=n_on),
+                                 dt)
+        e_gated = _cycle_energy(build_clb_clock(gated=True, n_on=n_on), dt)
+        rows.append({
+            "condition": label,
+            "single_fJ": e_single / 1e-15,
+            "gated_fJ": e_gated / 1e-15,
+            "delta_pct": 100.0 * (e_gated / e_single - 1.0),
+        })
+    return rows
+
+
+def gated_clock_breakeven(rows: list[dict[str, float]]) -> float:
+    """Probability of the all-off state above which CLB gating wins.
+
+    The paper argues gating pays off when P(all FFs off) > ~1/3.  With
+    energies E_single/E_gated for the all-off and all-on conditions,
+    the break-even P solves
+    ``P*Eg_off + (1-P)*Eg_on = P*Es_off + (1-P)*Es_on``.
+    """
+    by = {r["condition"]: r for r in rows}
+    es_off, eg_off = by["all_off"]["single_fJ"], by["all_off"]["gated_fJ"]
+    es_on, eg_on = by["all_on"]["single_fJ"], by["all_on"]["gated_fJ"]
+    num = eg_on - es_on
+    den = (eg_on - es_on) + (es_off - eg_off)
+    if den <= 0:
+        raise ValueError("gating never pays off under these energies")
+    return num / den
+
+
+def run_fig_sweep(fig: str, *, widths: list[float] | None = None,
+                  wire_lengths: list[int] | None = None,
+                  switch_type: str = "pass",
+                  tech: Technology = STM018,
+                  dt: float = 2e-12) -> dict[int, list[RoutingMeasurement]]:
+    """Figs. 8/9/10 (or the 3.3.2 buffer study): EDA vs switch width.
+
+    ``fig`` is one of ``"fig8"``, ``"fig9"``, ``"fig10"``.
+    """
+    if fig not in FIG_METAL_CONFIGS:
+        raise ValueError(f"unknown figure {fig!r}")
+    cfg = FIG_METAL_CONFIGS[fig]
+    widths = FIG_WIDTHS if widths is None else widths
+    wire_lengths = FIG_WIRE_LENGTHS if wire_lengths is None else wire_lengths
+    if switch_type == "tbuf":
+        # The paper caps buffers at 16x minimum.
+        widths = [w for w in widths if w <= 16.0]
+    return sweep_pass_transistor(widths, wire_lengths,
+                                 switch_type=switch_type, tech=tech,
+                                 dt=dt, **cfg)

@@ -1,0 +1,229 @@
+"""Double edge-triggered flip-flop (DETFF) variants of Table 1.
+
+The paper compares five published DETFF circuits before choosing one for
+the BLE: two variants each from Lo/Chung/Sachdev (TVLSI'02) and
+Peset Llopis/Sachdev (ISLPED'96), which are latch-mux DETFFs differing
+in the tri-state inverter style (Fig. 3), plus the pulsed style analysed
+by Strollo et al. (TVLSI'00).
+
+All are built from the Fig. 3 tri-state inverter types in
+:mod:`repro.circuit.cells`:
+
+* **latch-mux family** -- two level-sensitive latches in parallel, one
+  transparent per clock phase, and an output 2:1 mux that always selects
+  the *opaque* latch, so the output updates at every clock edge;
+* **pulsed family (Strollo)** -- an edge detector (clock XOR delayed
+  clock) generates a short transparency pulse at *both* edges of the
+  clock driving a single pass-gate latch.
+
+Each builder takes data/clock/output nodes, instantiates a local clkb
+inverter (its energy is charged to the flip-flop, as in the paper's
+measurements), and returns a dict of interesting internal nodes.
+
+A conventional single-edge DFF (:func:`dff_setff`) is included as the
+reference the DETFF energy argument is made against (same data rate at
+half the clock frequency).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .cells import (
+    inverter,
+    keeper,
+    mux2_nmos,
+    mux2_tg,
+    transmission_gate,
+    tristate_inverter_a,
+    tristate_inverter_b,
+    xor2,
+)
+from .network import Circuit
+
+FFBuilder = Callable[[Circuit, int, int, int, str], dict[str, int]]
+
+
+#: All FF-internal devices are minimum size (the paper: "LUT and MUX
+#: structures with the minimum-sized transistors were adopted"); even
+#: PMOS pull-ups are 1x, trading rise time for energy.
+_WN = 1.0
+_WP = 1.0
+
+
+def _clkb(ckt: Circuit, clk: int, name: str, *, w: float = 1.0) -> int:
+    """Local complementary-clock inverter.
+
+    The Llopis designs minimise clock-network energy with a deliberately
+    weak local buffer (w < 1), which delays whichever mux branch waits
+    on clkb -- part of why they trade speed for energy.
+    """
+    clkb = ckt.node(f"{name}.clkb")
+    inverter(ckt, clk, clkb, wn=w * _WN, wp=w * _WP, name=f"{name}.iclk")
+    return clkb
+
+
+def _latch_mux_detff(ckt: Circuit, d: int, clk: int, q: int, name: str,
+                     *, style: str) -> dict[str, int]:
+    """Generic latch-mux DETFF.
+
+    ``style`` selects the tri-state inverter construction:
+      ``"a"``  clocked inverters for both input and feedback (Chung 1)
+      ``"b"``  inverter+TG tri-states (Chung 2)
+      ``"tg"`` plain transmission-gate input with a weak ratioed keeper
+               (Llopis 1: fewest clocked transistors)
+      ``"tg_fb"`` TG input with a *clocked* feedback tri-state
+               (Llopis 2)
+    """
+    llopis = style in ("tg", "tg_fb")
+    clkb = _clkb(ckt, clk, name, w=0.45 if llopis else 1.0)
+    taps = []
+    # Style "b" shares one data inverter between the two latches (the
+    # published Lo/Chung type-b structure); each latch then only needs a
+    # clocked TG on its input.
+    db = None
+    if style == "b":
+        db = ckt.node(f"{name}.db")
+        inverter(ckt, d, db, wn=_WN, wp=_WP, name=f"{name}.din")
+    # Latch A transparent when clk=1; latch B transparent when clk=0.
+    for which, en, en_b in (("A", clk, clkb), ("B", clkb, clk)):
+        sn = ckt.node(f"{name}.sn{which}")
+        snb = ckt.node(f"{name}.snb{which}")
+        lname = f"{name}.l{which}"
+        if style == "a":
+            tristate_inverter_a(ckt, d, sn, en=en, en_b=en_b,
+                                wn=_WN, wp=_WP, name=f"{lname}.in")
+            inverter(ckt, sn, snb, wn=_WN, wp=_WP, name=f"{lname}.fwd")
+            # Clocked feedback never fights the input stage, so it can
+            # be full strength: fast opaque-phase drive of the tap.
+            tristate_inverter_a(ckt, snb, sn, en=en_b, en_b=en,
+                                wn=_WN, wp=_WP, name=f"{lname}.fb")
+            taps.append(sn)          # sn = NOT D (inverting latch)
+        elif style == "b":
+            transmission_gate(ckt, db, sn, en=en, en_b=en_b,
+                              name=f"{lname}.in")
+            inverter(ckt, sn, snb, wn=_WN, wp=_WP, name=f"{lname}.fwd")
+            # Clocked feedback (no always-toggling internal inverter).
+            tristate_inverter_a(ckt, snb, sn, en=en_b, en_b=en,
+                                wn=_WN, wp=_WP, name=f"{lname}.fb")
+            taps.append(sn)
+        elif style == "tg":
+            transmission_gate(ckt, d, sn, en=en, en_b=en_b,
+                              name=f"{lname}.in")
+            # The ratioed keeper must be weak enough for the bare TG to
+            # overpower it; the weak forward inverter is also what
+            # drives the output mux, which costs speed (the paper's
+            # Llopis1 trade-off: lowest energy, not lowest EDP).
+            keeper(ckt, sn, snb, w=0.45, name=f"{lname}.keep")
+            taps.append(snb)         # snb = NOT D (keeper fwd inverter)
+        elif style == "tg_fb":
+            transmission_gate(ckt, d, sn, en=en, en_b=en_b,
+                              name=f"{lname}.in")
+            inverter(ckt, sn, snb, wn=_WN, wp=_WP, name=f"{lname}.fwd")
+            tristate_inverter_a(ckt, snb, sn, en=en_b, en_b=en,
+                                wn=0.7, wp=0.7, name=f"{lname}.fb")
+            taps.append(snb)
+        else:
+            raise ValueError(f"unknown latch style {style!r}")
+
+    # Output: select the opaque latch.  At clk=1 that is latch B.
+    # The Llopis designs minimise clocked transistors with an NMOS-only
+    # output mux (degraded high level -> slower output inverter); the
+    # Chung designs spend a full TG mux for speed.
+    qb = ckt.node(f"{name}.qb")
+    if llopis:
+        mux2_nmos(ckt, taps[0], taps[1], qb, sel=clk, sel_b=clkb,
+                  name=f"{name}.omux")
+    else:
+        mux2_tg(ckt, taps[0], taps[1], qb, sel=clk, sel_b=clkb,
+                name=f"{name}.omux")
+    inverter(ckt, qb, q, wn=_WN, wp=_WP, name=f"{name}.oinv")
+    return {"clkb": clkb, "qb": qb, "tapA": taps[0], "tapB": taps[1]}
+
+
+def detff_chung1(ckt: Circuit, d: int, clk: int, q: int,
+                 name: str = "ff") -> dict[str, int]:
+    """Chung 1 [Lo/Chung/Sachdev]: clocked-inverter (Fig. 3a) latches."""
+    return _latch_mux_detff(ckt, d, clk, q, name, style="a")
+
+
+def detff_chung2(ckt: Circuit, d: int, clk: int, q: int,
+                 name: str = "ff") -> dict[str, int]:
+    """Chung 2 [Lo/Chung/Sachdev]: inverter+TG (Fig. 3b) latches."""
+    return _latch_mux_detff(ckt, d, clk, q, name, style="b")
+
+
+def detff_llopis1(ckt: Circuit, d: int, clk: int, q: int,
+                  name: str = "ff") -> dict[str, int]:
+    """Llopis 1 [Peset Llopis/Sachdev]: TG latches with weak keepers.
+
+    The simplest structure of the five: only the two input transmission
+    gates and the output mux are clocked, so the internal clock load is
+    minimal -- this is why the paper finds it has the lowest total
+    energy and selects it for the BLE despite not having the best EDP.
+    """
+    return _latch_mux_detff(ckt, d, clk, q, name, style="tg")
+
+
+def detff_llopis2(ckt: Circuit, d: int, clk: int, q: int,
+                  name: str = "ff") -> dict[str, int]:
+    """Llopis 2: TG input latches with clocked feedback tri-states."""
+    return _latch_mux_detff(ckt, d, clk, q, name, style="tg_fb")
+
+
+def detff_strollo(ckt: Circuit, d: int, clk: int, q: int,
+                  name: str = "ff") -> dict[str, int]:
+    """Strollo-style pulsed DETFF.
+
+    An edge detector (clk XOR delayed clk) opens a single pass-gate
+    latch briefly after every clock edge.  Fast D-to-Q (one TG + one
+    inverter) but the pulse generator toggles internally on every edge,
+    which costs energy.
+    """
+    # Non-inverting delay chain (four inverters); pulse width = chain
+    # delay, appearing after each clock edge.
+    prev = clk
+    for i in range(4):
+        nxt = ckt.node(f"{name}.d{i + 1}")
+        inverter(ckt, prev, nxt, wn=0.8, wp=1.2, name=f"{name}.dl{i + 1}")
+        prev = nxt
+    pulse = ckt.node(f"{name}.pulse")
+    xor2(ckt, clk, prev, pulse, name=f"{name}.xor")
+    pulseb = ckt.node(f"{name}.pulseb")
+    inverter(ckt, pulse, pulseb, name=f"{name}.ipb")
+
+    sn = ckt.node(f"{name}.sn")
+    snb = ckt.node(f"{name}.snb")
+    transmission_gate(ckt, d, sn, en=pulse, en_b=pulseb,
+                      name=f"{name}.in")
+    keeper(ckt, sn, snb, name=f"{name}.keep")
+    inverter(ckt, snb, q, name=f"{name}.oinv")
+    return {"pulse": pulse, "sn": sn, "snb": snb}
+
+
+def dff_setff(ckt: Circuit, d: int, clk: int, q: int,
+              name: str = "ff") -> dict[str, int]:
+    """Conventional rising-edge master-slave DFF (TG style) reference."""
+    clkb = _clkb(ckt, clk, name)
+    # Master transparent when clk=0.
+    m = ckt.node(f"{name}.m")
+    mb = ckt.node(f"{name}.mb")
+    transmission_gate(ckt, d, m, en=clkb, en_b=clk, name=f"{name}.tin")
+    keeper(ckt, m, mb, name=f"{name}.mkeep")
+    # Slave transparent when clk=1.
+    s = ckt.node(f"{name}.s")
+    sb = ckt.node(f"{name}.sb")
+    transmission_gate(ckt, mb, s, en=clk, en_b=clkb, name=f"{name}.tmid")
+    keeper(ckt, s, sb, name=f"{name}.skeep")
+    inverter(ckt, s, q, name=f"{name}.oinv")
+    return {"clkb": clkb, "m": m, "s": s}
+
+
+#: The Table 1 candidates, in the paper's row order.
+DETFF_VARIANTS: dict[str, FFBuilder] = {
+    "chung1": detff_chung1,
+    "chung2": detff_chung2,
+    "llopis1": detff_llopis1,
+    "llopis2": detff_llopis2,
+    "strollo": detff_strollo,
+}

@@ -1,0 +1,356 @@
+"""Transient nodal simulator (the Cadence substitute).
+
+Backward-Euler integration with full Newton iteration at every timestep
+over a square-law MOSFET model.  The formulation is standard nodal
+analysis restricted to circuits whose every node carries a capacitance
+to ground (the compiler adds a small floor capacitance), which keeps the
+system matrix well-conditioned without needing charge-based MNA.
+
+Per-step work is fully vectorised following the HPC guides: all MOSFETs
+are evaluated in one NumPy pass (symmetric D/S handling, so pass
+transistors and transmission gates need no special casing), and because
+the Jacobian *sparsity pattern* is static, stamps are accumulated with a
+single ``np.bincount`` over precomputed flat indices instead of per-stamp
+scatter.  Node counts in the paper's experiments are tiny (tens of
+nodes), so dense linear solves are cheap and the step loop dominates.
+
+Energy accounting follows the paper: the reported quantity is the energy
+delivered by the ``vdd`` supply, ``E = Vdd * integral(i_vdd dt)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import Circuit
+
+#: Floor capacitance added to every floating node (F).  Keeps the BE
+#: system non-singular for nodes whose only connection is resistive.
+C_FLOOR = 0.05e-15
+
+#: Minimum shunt conductance across every MOSFET channel (S); the usual
+#: SPICE gmin convergence aid.
+G_MIN = 1e-9
+
+
+@dataclass
+class TransientResult:
+    """Waveforms and supply-energy trace from a transient run."""
+
+    time: np.ndarray            # (T,)
+    voltages: np.ndarray        # (T, n_nodes)
+    supply_current: np.ndarray  # (T,) current drawn from vdd (A)
+    node_names: list[str]
+    vdd: float
+
+    def v(self, name: str) -> np.ndarray:
+        """Waveform of a node by name."""
+        return self.voltages[:, self.node_names.index(name)]
+
+    @property
+    def energy(self) -> float:
+        """Total energy delivered by the supply over the run (J)."""
+        return float(self.vdd * np.trapezoid(self.supply_current, self.time))
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        """Supply energy delivered within the window ``[t0, t1]`` (J)."""
+        mask = (self.time >= t0) & (self.time <= t1)
+        if mask.sum() < 2:
+            return 0.0
+        return float(self.vdd * np.trapezoid(self.supply_current[mask],
+                                             self.time[mask]))
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when Newton iteration fails to converge at some timestep."""
+
+
+class TransientSimulator:
+    """Compiles a :class:`Circuit` and runs backward-Euler transients."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self._compile()
+
+    # ------------------------------------------------------------------
+    def _compile(self) -> None:
+        ckt = self.circuit
+        tech = ckt.tech
+        n = ckt.n_nodes
+        self.n = n
+
+        fixed = np.zeros(n, dtype=bool)
+        for idx in ckt.sources:
+            fixed[idx] = True
+        self.fixed = fixed
+        self.free = np.where(~fixed)[0]
+        nf = self.free.size
+        self.nf = nf
+        # Map full node index -> position among free nodes (-1 if fixed).
+        self.free_pos = -np.ones(n, dtype=np.int64)
+        self.free_pos[self.free] = np.arange(nf)
+
+        # Lumped node capacitance (explicit + device parasitics + floor).
+        cap = np.full(n, C_FLOOR)
+        for c in ckt.capacitors:
+            cap[c.n] += c.c
+        for m in ckt.mosfets:
+            cap[m.g] += tech.gate_cap(m.w, m.l)
+            cap[m.d] += tech.junction_cap(m.w)
+            cap[m.s] += tech.junction_cap(m.w)
+        self.cap = cap
+
+        # MOSFET arrays.
+        ms = ckt.mosfets
+        self.m_d = np.array([m.d for m in ms], dtype=np.int64)
+        self.m_g = np.array([m.g for m in ms], dtype=np.int64)
+        self.m_s = np.array([m.s for m in ms], dtype=np.int64)
+        self.m_p = np.array([m.ptype for m in ms], dtype=bool)
+        self.m_beta = np.array(
+            [tech.beta(m.w, m.l, ptype=m.ptype) for m in ms])
+        self.m_vt = np.where(self.m_p, abs(tech.vt_p), tech.vt_n)
+        self.m_lam = np.where(self.m_p, tech.lambda_p, tech.lambda_n)
+        self.m_ioff = np.array([tech.i_off_per_m * m.w for m in ms])
+        self.n_mos = nm = len(ms)
+
+        # Resistor arrays.
+        rs = ckt.resistors
+        self.r_a = np.array([r.a for r in rs], dtype=np.int64)
+        self.r_b = np.array([r.b for r in rs], dtype=np.int64)
+        self.r_g = np.array([1.0 / r.r for r in rs])
+
+        # --- static stamp patterns (flat indices into the nf x nf dense
+        # Jacobian), computed once so the Newton loop only does bincount.
+        def flat_pattern(rows: np.ndarray, cols: np.ndarray):
+            rp = self.free_pos[rows]
+            cp = self.free_pos[cols]
+            ok = (rp >= 0) & (cp >= 0)
+            return (rp * nf + cp)[ok], ok
+
+        if nm:
+            # Stamps for d(inj)/dv: rows d,d,d,s,s,s; cols d,g,s x2.
+            rows = np.concatenate([self.m_d] * 3 + [self.m_s] * 3)
+            cols = np.concatenate(
+                [self.m_d, self.m_g, self.m_s] * 2)
+            self.mos_flat, self.mos_ok = flat_pattern(rows, cols)
+        else:
+            self.mos_flat = np.empty(0, dtype=np.int64)
+            self.mos_ok = np.empty(0, dtype=bool)
+
+        # Resistor Jacobian contribution is constant: build it once.
+        self.jac_res = np.zeros(nf * nf)
+        if self.r_a.size:
+            rows = np.concatenate([self.r_a, self.r_a, self.r_b, self.r_b])
+            cols = np.concatenate([self.r_a, self.r_b, self.r_b, self.r_a])
+            vals = np.concatenate([-self.r_g, self.r_g, -self.r_g, self.r_g])
+            flat, ok = flat_pattern(rows, cols)
+            # d(resid)/dv = -d(inj)/dv
+            np.add.at(self.jac_res, flat, -vals[ok])
+
+        # Injection accumulation patterns (bincount over full node count).
+        if nm:
+            self.inj_mos_idx = np.concatenate([self.m_d, self.m_s])
+        if self.r_a.size:
+            self.inj_res_idx = np.concatenate([self.r_a, self.r_b])
+
+        self.vdd_idx = ckt.vdd
+        self.vdd = tech.vdd
+
+    # ------------------------------------------------------------------
+    def _mos_eval(self, v: np.ndarray):
+        """Vectorised MOSFET evaluation at node voltages ``v``.
+
+        Returns ``(i_ds, g_d, g_g, g_s)`` where ``i_ds`` is the signed
+        channel current from drain to source and ``g_*`` its partial
+        derivatives w.r.t. the drain/gate/source node voltages.
+        """
+        vd = v[self.m_d]
+        vs = v[self.m_s]
+        vg = v[self.m_g]
+        swap = vd < vs
+        v_hi = np.maximum(vd, vs)
+        v_lo = np.minimum(vd, vs)
+        vds = v_hi - v_lo
+
+        # Overdrive: NMOS references the low terminal, PMOS the high one.
+        vov = np.where(self.m_p, v_hi - vg, vg - v_lo) - self.m_vt
+
+        beta = self.m_beta
+        lam = self.m_lam
+
+        on = vov > 0.0
+        lin = on & (vds < vov)
+        sat = on & ~lin
+
+        ids = np.where(on, 0.0, self.m_ioff * np.minimum(vds / 0.1, 1.0))
+        d_dvds = np.where(on, 0.0, self.m_ioff / 0.1 * (vds < 0.1))
+        d_dvov = np.zeros(self.n_mos)
+
+        # The (1 + lam*vds) factor is applied in both regions so current
+        # is continuous at the vds = vov boundary (prevents Newton limit
+        # cycles at switching instants).
+        clm = 1.0 + lam * vds
+        lin_i = beta * (vov * vds - 0.5 * vds * vds)
+        ids = np.where(lin, lin_i * clm, ids)
+        d_dvds = np.where(lin, beta * (vov - vds) * clm + lin_i * lam,
+                          d_dvds)
+        d_dvov = np.where(lin, beta * vds * clm, d_dvov)
+
+        sat_i0 = 0.5 * beta * vov * vov
+        ids = np.where(sat, sat_i0 * clm, ids)
+        d_dvds = np.where(sat, sat_i0 * lam, d_dvds)
+        d_dvov = np.where(sat, beta * vov * clm, d_dvov)
+
+        # gmin shunt for convergence.
+        ids = ids + G_MIN * vds
+        d_dvds = d_dvds + G_MIN
+
+        # Magnitude derivatives w.r.t. (hi, lo, gate) node voltages.
+        p = self.m_p
+        g_hi = d_dvds + np.where(p, d_dvov, 0.0)
+        g_lo = -d_dvds + np.where(p, 0.0, -d_dvov)
+        g_gm = np.where(p, -d_dvov, d_dvov)
+
+        # Signed drain->source current and its derivatives.
+        sgn = np.where(swap, -1.0, 1.0)
+        i_ds = sgn * ids
+        g_d = np.where(swap, -g_lo, g_hi)
+        g_s = np.where(swap, -g_hi, g_lo)
+        g_g = sgn * g_gm
+        return i_ds, g_d, g_g, g_s
+
+    # ------------------------------------------------------------------
+    def _eval(self, v: np.ndarray):
+        """Injected node currents and the dense Jacobian of the residual."""
+        n = self.n
+        nf = self.nf
+        inj = np.zeros(n)
+
+        jac = self.jac_res.copy()
+        if self.n_mos:
+            i_ds, g_d, g_g, g_s = self._mos_eval(v)
+            inj += np.bincount(self.inj_mos_idx,
+                               np.concatenate([-i_ds, i_ds]), minlength=n)
+            # Residual Jacobian stamps: resid = ... - inj, and
+            # inj[d] -= i_ds, inj[s] += i_ds, so row d gets +g_* and
+            # row s gets -g_* (cols d, g, s).
+            vals = np.concatenate([g_d, g_g, g_s, -g_d, -g_g, -g_s])
+            jac += np.bincount(self.mos_flat, vals[self.mos_ok],
+                               minlength=nf * nf)
+        if self.r_a.size:
+            i_r = self.r_g * (v[self.r_a] - v[self.r_b])
+            inj += np.bincount(self.inj_res_idx,
+                               np.concatenate([-i_r, i_r]), minlength=n)
+        return inj, jac.reshape(nf, nf)
+
+    # ------------------------------------------------------------------
+    def run(self, t_end: float, dt: float = 1e-12, *,
+            v_init: dict[str, float] | None = None,
+            max_newton: int = 30, tol: float = 1e-4,
+            record_every: int = 1) -> TransientResult:
+        """Run a transient analysis from 0 to ``t_end`` with step ``dt``.
+
+        ``v_init`` optionally seeds initial node voltages by name (the
+        default is 0 V everywhere except sources).  ``record_every``
+        thins the stored waveforms to every k-th step.
+        """
+        ckt = self.circuit
+        n = self.n
+        n_steps = int(round(t_end / dt))
+        times = np.arange(n_steps + 1) * dt
+
+        src_idx = np.array(sorted(ckt.sources), dtype=np.int64)
+        src_wave = np.empty((src_idx.size, n_steps + 1))
+        for k, idx in enumerate(src_idx):
+            src_wave[k] = ckt.sources[idx].sample(times)
+
+        v = np.zeros(n)
+        if v_init:
+            for name, val in v_init.items():
+                v[ckt.node(name)] = val
+        v[src_idx] = src_wave[:, 0]
+
+        free = self.free
+        nf = self.nf
+        cap_free = self.cap[free]
+        diag = np.arange(nf)
+
+        rec_idx = list(range(0, n_steps + 1, record_every))
+        volts = np.empty((len(rec_idx), n))
+        i_sup = np.empty(len(rec_idx))
+        rec_i = 0
+
+        vdd_idx = self.vdd_idx
+
+        def newton_step(v_prev: np.ndarray, v_src: np.ndarray,
+                        h: float):
+            """One backward-Euler step of size ``h``.
+
+            Returns ``(v_new, supply_current)`` or ``(None, 0)`` on
+            Newton failure.
+            """
+            g_ch = cap_free / h
+            vv = v_prev.copy()
+            vv[src_idx] = v_src
+            for _ in range(max_newton):
+                inj, jac = self._eval(vv)
+                resid = g_ch * (vv[free] - v_prev[free]) - inj[free]
+                jac = jac.copy()
+                jac[diag, diag] += g_ch
+                try:
+                    dv = np.linalg.solve(jac, -resid)
+                except np.linalg.LinAlgError:
+                    return None, 0.0
+                np.clip(dv, -0.6, 0.6, out=dv)
+                vv[free] += dv
+                if np.abs(dv).max() < tol:
+                    # Current leaving the vdd node = -inj[vdd].
+                    return vv, -inj[vdd_idx]
+            return None, 0.0
+
+        # Record initial point.
+        inj0, _ = self._eval(v)
+        if rec_idx and rec_idx[0] == 0:
+            volts[0] = v
+            i_sup[0] = -inj0[vdd_idx]
+            rec_i = 1
+
+        for step in range(1, n_steps + 1):
+            src_prev = src_wave[:, step - 1]
+            src_now = src_wave[:, step]
+            v_new, cur = newton_step(v, src_now, dt)
+            if v_new is None:
+                # Substep through a stiff switching instant; sources are
+                # linearly interpolated inside the step.
+                n_sub = 8
+                v_new = v
+                for k in range(1, n_sub + 1):
+                    frac = k / n_sub
+                    v_src = src_prev + frac * (src_now - src_prev)
+                    v_new, cur = newton_step(v_new, v_src, dt / n_sub)
+                    if v_new is None:
+                        raise ConvergenceError(
+                            f"Newton failed at t={step * dt:.3e} even "
+                            f"with substepping")
+            v = v_new
+
+            if step % record_every == 0:
+                volts[rec_i] = v
+                i_sup[rec_i] = cur
+                rec_i += 1
+
+        return TransientResult(
+            time=times[::record_every][:rec_i],
+            voltages=volts[:rec_i],
+            supply_current=i_sup[:rec_i],
+            node_names=ckt.names(),
+            vdd=self.vdd,
+        )
+
+
+def simulate(circuit: Circuit, t_end: float, dt: float = 1e-12,
+             **kwargs) -> TransientResult:
+    """One-shot convenience wrapper around :class:`TransientSimulator`."""
+    return TransientSimulator(circuit).run(t_end, dt, **kwargs)

@@ -1,0 +1,167 @@
+"""Process-technology parameters for the circuit-level experiments.
+
+The paper designed and simulated its FPGA in STM 0.18 um CMOS (6 metal
+layers) inside Cadence.  That PDK is proprietary, so this module provides a
+calibrated, openly documented parameter set for a generic 0.18 um process.
+The values are first-order textbook numbers (square-law device model,
+area+fringe+coupling wire capacitance) chosen so that simulated energies
+land in the fJ range and delays in the hundreds-of-ps range the paper
+reports.  All downstream experiments read the process exclusively through
+:class:`Technology`, so an alternative calibration can be swapped in
+without touching any experiment code (the "technology independence"
+property the paper advertises for its tool flow).
+
+Units: volts, amperes, farads, ohms, seconds, metres -- strict SI.  Helper
+properties expose the conventional micron-denominated quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+UM = 1e-6
+NM = 1e-9
+FF = 1e-15
+PS = 1e-12
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """Per-layer interconnect parasitics.
+
+    ``r_per_m``       sheet-derived resistance of a minimum-width wire (ohm/m)
+    ``c_area_per_m``  ground (area) capacitance of a minimum-width wire (F/m)
+    ``c_fringe_per_m``fringe capacitance, both edges combined (F/m)
+    ``c_couple_per_m``coupling capacitance to *each* neighbour at minimum
+                      spacing, both sides combined (F/m)
+    ``min_width`` / ``min_spacing``  layout design rules (m)
+    """
+
+    name: str
+    r_per_m: float
+    c_area_per_m: float
+    c_fringe_per_m: float
+    c_couple_per_m: float
+    min_width: float
+    min_spacing: float
+
+    def wire_res_per_m(self, width_mult: float = 1.0) -> float:
+        """Resistance per metre of a wire ``width_mult`` x minimum width."""
+        if width_mult <= 0:
+            raise ValueError("width multiplier must be positive")
+        return self.r_per_m / width_mult
+
+    def wire_cap_per_m(self, width_mult: float = 1.0,
+                       spacing_mult: float = 1.0) -> float:
+        """Capacitance per metre of a wire at the given width/spacing.
+
+        Area capacitance scales linearly with width; fringe is roughly
+        width-independent; coupling falls off inversely with spacing.
+        This is the same first-order model used by Betz & Rose (CICC'98),
+        the paper's own sizing reference.
+        """
+        if spacing_mult <= 0:
+            raise ValueError("spacing multiplier must be positive")
+        return (self.c_area_per_m * width_mult
+                + self.c_fringe_per_m
+                + self.c_couple_per_m / spacing_mult)
+
+    def wire_pitch(self, width_mult: float = 1.0,
+                   spacing_mult: float = 1.0) -> float:
+        """Centre-to-centre pitch of parallel wires (m)."""
+        return self.min_width * width_mult + self.min_spacing * spacing_mult
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A generic 0.18 um CMOS process model.
+
+    MOSFET parameters feed the square-law model in
+    :mod:`repro.circuit.devices`; capacitance parameters feed the lumped
+    node capacitances; metal layers feed the interconnect experiments.
+    """
+
+    name: str = "generic-0.18um"
+    vdd: float = 1.8
+    # Square-law transconductance parameters (A/V^2): k' = mu * Cox.
+    kp_n: float = 170e-6
+    kp_p: float = 60e-6
+    vt_n: float = 0.45
+    vt_p: float = -0.45
+    lambda_n: float = 0.08   # channel-length modulation (1/V)
+    lambda_p: float = 0.10
+    # Subthreshold leakage per um of width at Vgs=0 (A/m of width).
+    i_off_per_m: float = 20e-6 * 1e-3   # 20 pA/um -> 2e-5 A/m
+    # Geometry.
+    l_min: float = 0.18 * UM             # drawn channel length
+    w_min: float = 0.28 * UM             # minimum contactable width
+    # Capacitance parameters.
+    c_ox_per_m2: float = 8.5e-3          # gate oxide capacitance (F/m^2)
+    c_overlap_per_m: float = 0.35e-9     # G-D / G-S overlap (F/m of W)
+    c_junction_per_m: float = 0.45e-9    # drain/source junction (F/m of W)
+    # Metal stack (the paper routes FPGA wires in metal 3: lowest-C option).
+    metals: tuple[MetalLayer, ...] = field(default_factory=lambda: (
+        MetalLayer("metal1", r_per_m=120e3, c_area_per_m=35e-12,
+                   c_fringe_per_m=45e-12, c_couple_per_m=85e-12,
+                   min_width=0.28 * UM, min_spacing=0.28 * UM),
+        MetalLayer("metal2", r_per_m=100e3, c_area_per_m=30e-12,
+                   c_fringe_per_m=40e-12, c_couple_per_m=90e-12,
+                   min_width=0.28 * UM, min_spacing=0.28 * UM),
+        MetalLayer("metal3", r_per_m=90e3, c_area_per_m=22e-12,
+                   c_fringe_per_m=38e-12, c_couple_per_m=80e-12,
+                   min_width=0.28 * UM, min_spacing=0.28 * UM),
+        MetalLayer("metal4", r_per_m=80e3, c_area_per_m=25e-12,
+                   c_fringe_per_m=40e-12, c_couple_per_m=85e-12,
+                   min_width=0.35 * UM, min_spacing=0.35 * UM),
+        MetalLayer("metal5", r_per_m=40e3, c_area_per_m=28e-12,
+                   c_fringe_per_m=42e-12, c_couple_per_m=95e-12,
+                   min_width=0.44 * UM, min_spacing=0.44 * UM),
+        MetalLayer("metal6", r_per_m=25e3, c_area_per_m=32e-12,
+                   c_fringe_per_m=45e-12, c_couple_per_m=100e-12,
+                   min_width=0.44 * UM, min_spacing=0.46 * UM),
+    ))
+
+    # ------------------------------------------------------------------
+    def metal(self, name: str) -> MetalLayer:
+        """Look up a metal layer by name (e.g. ``"metal3"``)."""
+        for layer in self.metals:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no metal layer named {name!r}")
+
+    # -- derived device quantities -------------------------------------
+    def gate_cap(self, w: float, l: float | None = None) -> float:
+        """Total gate capacitance of a device of width ``w`` (F)."""
+        l = self.l_min if l is None else l
+        return self.c_ox_per_m2 * w * l + 2.0 * self.c_overlap_per_m * w
+
+    def junction_cap(self, w: float) -> float:
+        """Drain or source junction capacitance of a device (F)."""
+        return self.c_junction_per_m * w
+
+    def beta(self, w: float, l: float | None = None, *, ptype: bool) -> float:
+        """Device transconductance factor k' * W / L (A/V^2)."""
+        l = self.l_min if l is None else l
+        kp = self.kp_p if ptype else self.kp_n
+        return kp * w / l
+
+    def min_transistor_area(self) -> float:
+        """Layout area of a minimum-width transistor (m^2), incl. contacts."""
+        return (self.w_min + 4 * self.l_min) * (6 * self.l_min)
+
+    def transistor_area_units(self, w: float) -> float:
+        """Area of a transistor in minimum-width-transistor units.
+
+        Uses the Betz/Rose convention: a transistor ``k`` times minimum
+        width costs ``0.5 + 0.5 k`` minimum-width areas (diffusion sharing
+        amortises the fixed overhead).
+        """
+        return 0.5 + 0.5 * (w / self.w_min)
+
+    def scaled(self, **overrides) -> "Technology":
+        """Return a copy of this technology with fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Module-level default process used throughout the experiments.
+STM018 = Technology()

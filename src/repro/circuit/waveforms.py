@@ -1,0 +1,113 @@
+"""Stimulus waveforms for transient simulation.
+
+All sources are piecewise-linear (PWL): a sorted sequence of
+``(time, voltage)`` breakpoints with linear interpolation between them
+and clamping outside.  Helpers build the standard shapes used in the
+paper's experiments -- clocks, data pulse trains, and the specific
+flip-flop input sequence of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PWL:
+    """A piecewise-linear voltage source."""
+
+    times: tuple[float, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must have the same length")
+        if len(self.times) == 0:
+            raise ValueError("PWL needs at least one breakpoint")
+        if any(t1 < t0 for t0, t1 in zip(self.times, self.times[1:])):
+            raise ValueError("PWL breakpoints must be non-decreasing in time")
+
+    def __call__(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the waveform at time(s) ``t``."""
+        return np.interp(t, self.times, self.values)
+
+    def sample(self, t: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation over a full time grid."""
+        return np.interp(t, self.times, self.values)
+
+
+def dc(v: float) -> PWL:
+    """A constant source."""
+    return PWL((0.0,), (v,))
+
+
+def step(t_step: float, v0: float, v1: float, t_rise: float = 50e-12) -> PWL:
+    """A single ramp from ``v0`` to ``v1`` starting at ``t_step``."""
+    return PWL((0.0, t_step, t_step + t_rise), (v0, v0, v1))
+
+
+def pulse_train(edges: list[tuple[float, float]], *, v_init: float = 0.0,
+                t_rise: float = 50e-12) -> PWL:
+    """Build a PWL from ``(time, target_voltage)`` edge events.
+
+    Each event starts a linear ramp of duration ``t_rise`` toward the
+    target.  Events must be spaced at least ``t_rise`` apart.
+    """
+    times = [0.0]
+    values = [v_init]
+    for t, v in edges:
+        if t < times[-1]:
+            raise ValueError("edge events must be time-ordered and spaced "
+                             ">= t_rise apart")
+        times.extend([t, t + t_rise])
+        values.extend([values[-1], v])
+    return PWL(tuple(times), tuple(values))
+
+
+def clock(period: float, n_cycles: int, vdd: float, *,
+          t_start: float = 0.0, t_rise: float = 50e-12,
+          duty: float = 0.5) -> PWL:
+    """A clock starting low, with ``n_cycles`` full periods."""
+    edges = []
+    for i in range(n_cycles):
+        t0 = t_start + i * period
+        edges.append((t0, vdd))
+        edges.append((t0 + duty * period, 0.0))
+    return pulse_train(edges, v_init=0.0, t_rise=t_rise)
+
+
+def fig4_stimulus(vdd: float, *, period: float = 2e-9,
+                  t_rise: float = 50e-12) -> tuple[PWL, PWL, float]:
+    """The flip-flop characterisation stimulus of the paper's Fig. 4.
+
+    Returns ``(clk, data, t_end)``.  Eight clock cycles; the data line
+    toggles between clock edges so that both rising- and falling-edge
+    captures of both a 0->1 and a 1->0 are exercised, with two idle
+    cycles (no data activity) included, mirroring the published pulse
+    diagram's mix of active and quiet intervals.
+    """
+    n_cycles = 8
+    clk = clock(period, n_cycles, vdd, t_start=0.25 * period, t_rise=t_rise)
+    # Data changes shortly (su) before each capturing edge, so the
+    # measured clock-to-Q reflects how quickly each latch topology can
+    # settle a fresh datum -- the "all combinations of clock signal and
+    # data inputs" worst case the paper describes.
+    base = 0.25 * period
+    half = period / 2.0
+    su = 0.15e-9 + t_rise          # data lead time before the edge
+    data_edges = [
+        (base + 0 * period - su, vdd),          # captured by rising edge 0
+        (base + 0 * period + half - su, 0.0),   # falling edge 0
+        (base + 1 * period - su, vdd),          # rising edge 1
+        (base + 1 * period + half - su, 0.0),   # falling edge 1
+        # cycles 2-3 idle (data stays 0)
+        (base + 4 * period - su, vdd),          # rising edge 4
+        (base + 5 * period + half - su, 0.0),   # falling edge 5
+        (base + 6 * period - su, vdd),          # rising edge 6
+        (base + 6 * period + half - su, 0.0),   # falling edge 6
+    ]
+    data = pulse_train(data_edges, v_init=0.0, t_rise=t_rise)
+    t_end = base + n_cycles * period + period / 2
+    return clk, data, t_end

@@ -1,0 +1,9 @@
+"""Integrated flow: orchestrator, six-stage GUI, command-line tools."""
+
+from .flow import (DesignFlow, FlowOptions, FlowResult, run_flow,
+                   run_flow_from_logic)
+from .gui import FlowGui, render_html, render_text
+
+__all__ = ["DesignFlow", "FlowGui", "FlowOptions", "FlowResult",
+           "render_html", "render_text", "run_flow",
+           "run_flow_from_logic"]

@@ -1,0 +1,182 @@
+"""Command-line front end: every tool standalone, plus the full flow.
+
+Mirrors the paper's property that "each tool can operate as a
+standalone program as well as part of a complete design framework":
+
+    repro-flow vhdlparse design.vhd
+    repro-flow diviner   design.vhd -o design.edif
+    repro-flow druid     design.edif -o clean.edif
+    repro-flow e2fmt     clean.edif -o design.blif
+    repro-flow sis       design.blif -o mapped.blif [-k 4]
+    repro-flow tvpack    mapped.blif -o design.net
+    repro-flow dutys     -o fpga.arch [--n 5 --k 4 ...]
+    repro-flow vpr       mapped.blif --arch fpga.arch --workdir out/
+    repro-flow flow      design.vhd --workdir out/ [--html gui.html]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from ..arch import ArchParams, DEFAULT_ARCH, generate_arch_file, \
+    load_arch_file
+from ..hdl.parser import check_syntax
+from ..hdl.synth import synthesize
+from ..netlist.blif import load_blif, save_blif
+from ..netlist.edif import load_edif, save_edif
+from ..pack import pack_netlist, save_net
+from ..synth import optimize_and_map
+from ..tools import druid, structural_to_logic
+from .flow import DesignFlow, FlowOptions, run_flow_from_logic
+from .gui import FlowGui, render_html
+
+__all__ = ["main"]
+
+
+def _arch_from_args(args) -> ArchParams:
+    arch = (load_arch_file(args.arch) if getattr(args, "arch", None)
+            else DEFAULT_ARCH)
+    for field in ("n", "k", "channel_width"):
+        v = getattr(args, field, None)
+        if v is not None:
+            arch = replace(arch, **{field: v})
+    return arch
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-flow",
+        description="Integrated FPGA design framework (IPPS 2004 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("vhdlparse", help="syntax-check a VHDL file")
+    p.add_argument("input")
+
+    p = sub.add_parser("diviner", help="synthesise VHDL to EDIF")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("druid", help="normalise an EDIF netlist")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("e2fmt", help="convert EDIF to BLIF")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("sis", help="optimise + map BLIF to K-LUTs")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("-k", type=int, default=4)
+
+    p = sub.add_parser("tvpack", help="pack LUT BLIF into clusters")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--arch", default=None)
+
+    p = sub.add_parser("dutys", help="generate an architecture file")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--channel-width", dest="channel_width", type=int,
+                   default=None)
+
+    p = sub.add_parser("vpr", help="place, route, analyse a BLIF design")
+    p.add_argument("input")
+    p.add_argument("--arch", default=None)
+    p.add_argument("--workdir", default=None)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--min-channel-width", action="store_true")
+
+    p = sub.add_parser("flow", help="run the complete VHDL-to-bitstream "
+                                    "flow")
+    p.add_argument("input")
+    p.add_argument("--arch", default=None)
+    p.add_argument("--workdir", default=None)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--html", default=None,
+                   help="write the GUI page here")
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "vhdlparse":
+        ok, msg = check_syntax(Path(args.input).read_text())
+        print(msg)
+        return 0 if ok else 1
+
+    if args.cmd == "diviner":
+        net = synthesize(Path(args.input).read_text())
+        save_edif(net, args.output)
+        print(f"wrote {args.output}: {net.stats()}")
+        return 0
+
+    if args.cmd == "druid":
+        net = druid(load_edif(args.input))
+        save_edif(net, args.output, program="DRUID")
+        print(f"wrote {args.output}: {net.stats()}")
+        return 0
+
+    if args.cmd == "e2fmt":
+        logic = structural_to_logic(load_edif(args.input))
+        save_blif(logic, args.output)
+        print(f"wrote {args.output}: {logic.stats()}")
+        return 0
+
+    if args.cmd == "sis":
+        logic = load_blif(args.input)
+        result = optimize_and_map(logic, args.k)
+        save_blif(result.network, args.output)
+        print(f"wrote {args.output}: {result.stats()}")
+        return 0
+
+    if args.cmd == "tvpack":
+        arch = _arch_from_args(args)
+        mapped = load_blif(args.input)
+        cn = pack_netlist(mapped, n=arch.n, i=arch.inputs_per_clb,
+                          k=arch.k)
+        save_net(cn, args.output)
+        print(f"wrote {args.output}: {cn.stats()}")
+        return 0
+
+    if args.cmd == "dutys":
+        arch = _arch_from_args(args)
+        Path(args.output).write_text(generate_arch_file(arch))
+        print(f"wrote {args.output}")
+        return 0
+
+    if args.cmd == "vpr":
+        arch = _arch_from_args(args)
+        logic = load_blif(args.input)
+        options = FlowOptions(arch=arch, seed=args.seed,
+                              min_channel_width=args.min_channel_width,
+                              work_dir=args.workdir)
+        result = run_flow_from_logic(logic, options)
+        print(json.dumps(result.summary(), indent=2))
+        return 0
+
+    if args.cmd == "flow":
+        arch = _arch_from_args(args)
+        options = FlowOptions(arch=arch, seed=args.seed,
+                              work_dir=args.workdir)
+        flow = DesignFlow(options)
+        gui = FlowGui()
+        result = gui.run(flow, Path(args.input).read_text())
+        print(json.dumps(result.summary(), indent=2))
+        if args.html:
+            Path(args.html).write_text(render_html(result, gui))
+            print(f"wrote {args.html}")
+        return 0
+
+    parser.error(f"unknown command {args.cmd!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

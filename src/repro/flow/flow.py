@@ -1,0 +1,281 @@
+"""The integrated design flow (Fig. 11): VHDL to configuration bitstream.
+
+Chains all ten tools.  Each stage is also callable on its own -- the
+"modularity" property the paper emphasises -- and the orchestrator can
+optionally write every intermediate artifact (EDIF, BLIF, .net,
+architecture file, placement, routing, bitstream) into a work
+directory, mirroring the file hand-offs of the original tools.
+
+Stage map (paper tool -> this code):
+
+==========  ====================================================
+VHDL Parser :func:`repro.hdl.parser.check_syntax`
+DIVINER     :func:`repro.hdl.synth.synthesize`
+DRUID       :func:`repro.tools.druid.druid`
+E2FMT       :func:`repro.tools.e2fmt.structural_to_logic`
+SIS         :func:`repro.synth.optimize_and_map`
+T-VPack     :func:`repro.pack.cluster.pack_netlist`
+DUTYS       :func:`repro.arch.dutys.generate_arch_file`
+VPR         :func:`repro.place.placer.place` + :func:`repro.route.router.route`
+PowerModel  :func:`repro.power.model.estimate_power`
+DAGGER      :func:`repro.bitgen.bitstream.generate_bitstream`
+==========  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..arch import (ArchParams, DEFAULT_ARCH, build_rr_graph,
+                    generate_arch_file)
+from ..bitgen import generate_bitstream
+from ..hdl.parser import check_syntax
+from ..hdl.synth import synthesize
+from ..netlist.blif import write_blif
+from ..netlist.edif import write_edif
+from ..netlist.logic import LogicNetwork
+from ..pack import pack_netlist, write_net
+from ..place import Placement, place
+from ..power import PowerReport, estimate_power
+from ..route import RoutingResult, route, route_min_channel_width
+from ..synth import optimize_and_map
+from ..timing import TimingReport, analyze_timing
+from ..tools import druid, structural_to_logic
+
+__all__ = ["FlowOptions", "FlowResult", "DesignFlow", "run_flow"]
+
+
+@dataclass(frozen=True)
+class FlowOptions:
+    """Knobs of the integrated flow."""
+
+    arch: ArchParams = DEFAULT_ARCH
+    seed: int = 1
+    place_effort: float = 1.0
+    min_channel_width: bool = False   # binary-search W instead of fixed
+    gated_clock: bool = True
+    f_clk_hz: float | None = None     # None -> run at fmax
+    work_dir: str | None = None       # write artifacts here if set
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produces."""
+
+    name: str = ""
+    syntax_message: str = ""
+    structural = None
+    logic: LogicNetwork | None = None
+    mapped: LogicNetwork | None = None
+    clustered = None
+    placement: Placement | None = None
+    routing: RoutingResult | None = None
+    rr_graph = None
+    timing: TimingReport | None = None
+    power: PowerReport | None = None
+    bitstream: bytes = b""
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, object]:
+        """The QoR row the flow reports per circuit."""
+        out: dict[str, object] = {"circuit": self.name}
+        if self.mapped is not None:
+            out["luts"] = len(self.mapped.nodes)
+            out["ffs"] = len(self.mapped.latches)
+        if self.clustered is not None:
+            out["clbs"] = len(self.clustered.clusters)
+        if self.placement is not None:
+            out["grid"] = self.placement.grid_size
+            out["bbox_cost"] = round(self.placement.cost, 2)
+        if self.routing is not None:
+            out["channel_width"] = self.routing.channel_width
+            if self.rr_graph is not None:
+                out["wirelength"] = self.routing.total_wirelength(
+                    self.rr_graph)
+        if self.timing is not None:
+            out.update(self.timing.stats())
+        if self.power is not None:
+            out["total_mW"] = self.power.stats()["total_mW"]
+        if self.bitstream:
+            out["bitstream_bytes"] = len(self.bitstream)
+        return out
+
+
+class DesignFlow:
+    """Stage-by-stage driver with timing and artifact output."""
+
+    #: GUI stage names (Fig. 12).
+    STAGES = ["File Upload", "Synthesis", "Format Translation",
+              "Power Estimation", "Placement and Routing",
+              "FPGA Program"]
+
+    def __init__(self, options: FlowOptions | None = None):
+        self.options = options or FlowOptions()
+        self.result = FlowResult()
+        self._work = (Path(self.options.work_dir)
+                      if self.options.work_dir else None)
+        if self._work:
+            self._work.mkdir(parents=True, exist_ok=True)
+
+    # -- helpers -------------------------------------------------------
+    def _timed(self, stage: str, fn):
+        t0 = time.perf_counter()
+        out = fn()
+        self.result.stage_seconds[stage] = time.perf_counter() - t0
+        return out
+
+    def _save(self, name: str, data: str | bytes) -> None:
+        if self._work is None:
+            return
+        path = self._work / name
+        if isinstance(data, bytes):
+            path.write_bytes(data)
+        else:
+            path.write_text(data)
+
+    # -- stages -----------------------------------------------------------
+    def upload(self, vhdl_text: str) -> str:
+        """Stage 1: syntax check (VHDL Parser)."""
+        ok, msg = check_syntax(vhdl_text)
+        self.result.syntax_message = msg
+        if not ok:
+            raise ValueError(msg)
+        self._vhdl = vhdl_text
+        self._save("design.vhd", vhdl_text)
+        return msg
+
+    def synthesis(self) -> None:
+        """Stage 2: DIVINER + DRUID -> EDIF."""
+        def run():
+            raw = synthesize(self._vhdl)
+            self._save("diviner.edif", write_edif(raw))
+            clean = druid(raw)
+            self._save("druid.edif", write_edif(clean, program="DRUID"))
+            return clean
+        self.result.structural = self._timed("synthesis", run)
+        self.result.name = self.result.structural.name
+
+    def translation(self) -> None:
+        """Stage 3: E2FMT + SIS + T-VPack -> packed netlist."""
+        opts = self.options
+
+        def run():
+            logic = structural_to_logic(self.result.structural)
+            self._save("e2fmt.blif", write_blif(logic))
+            mapped = optimize_and_map(logic, opts.arch.k)
+            self._save("sis_mapped.blif", write_blif(mapped.network))
+            cn = pack_netlist(mapped.network, n=opts.arch.n,
+                              i=opts.arch.inputs_per_clb,
+                              k=opts.arch.k)
+            self._save("tvpack.net", write_net(cn))
+            self._save("dutys.arch", generate_arch_file(opts.arch))
+            return logic, mapped.network, cn
+        (self.result.logic, self.result.mapped,
+         self.result.clustered) = self._timed("translation", run)
+
+    def place_and_route(self) -> None:
+        """Stage 5: VPR placement + PathFinder routing."""
+        opts = self.options
+
+        def run():
+            pl = place(self.result.clustered, opts.arch,
+                       seed=opts.seed, effort=opts.place_effort)
+            if opts.min_channel_width:
+                w, rr, g = route_min_channel_width(pl, opts.arch)
+            else:
+                g = build_rr_graph(opts.arch, pl.grid_size)
+                rr = route(pl, g)
+                if not rr.success:
+                    w, rr, g = route_min_channel_width(pl, opts.arch)
+            self._save("vpr.place", _format_place(pl))
+            self._save("vpr.route", _format_route(rr))
+            return pl, rr, g
+        (self.result.placement, self.result.routing,
+         self.result.rr_graph) = self._timed("place_route", run)
+        self.result.timing = analyze_timing(
+            self.result.clustered, self.result.placement,
+            self.result.routing, self.result.rr_graph, opts.arch)
+
+    def power_estimation(self) -> None:
+        """Stage 4 (runs after P&R here: it needs the routed design)."""
+        opts = self.options
+        f = opts.f_clk_hz or self.result.timing.fmax_hz
+
+        def run():
+            return estimate_power(
+                self.result.mapped, self.result.clustered,
+                self.result.placement, self.result.routing,
+                self.result.rr_graph, opts.arch, f_clk_hz=f,
+                gated_clock=opts.gated_clock)
+        self.result.power = self._timed("power", run)
+        if self._work:
+            import json
+            self._save("powermodel.json",
+                       __import__("json").dumps(self.result.power.stats(),
+                                                indent=2))
+
+    def program(self) -> bytes:
+        """Stage 6: DAGGER bitstream generation (with readback check)."""
+        def run():
+            return generate_bitstream(
+                self.result.mapped, self.result.clustered,
+                self.result.placement, self.result.routing,
+                self.result.rr_graph, self.options.arch)
+        self.result.bitstream = self._timed("bitstream", run)
+        self._save("design.bit", self.result.bitstream)
+        return self.result.bitstream
+
+    # -- one-shot -----------------------------------------------------------
+    def run(self, vhdl_text: str) -> FlowResult:
+        """Run all six stages in order."""
+        self.upload(vhdl_text)
+        self.synthesis()
+        self.translation()
+        self.place_and_route()
+        self.power_estimation()
+        self.program()
+        return self.result
+
+
+def run_flow(vhdl_text: str,
+             options: FlowOptions | None = None) -> FlowResult:
+    """Convenience wrapper: VHDL text in, :class:`FlowResult` out."""
+    return DesignFlow(options).run(vhdl_text)
+
+
+def run_flow_from_logic(logic: LogicNetwork,
+                        options: FlowOptions | None = None) -> FlowResult:
+    """Run the flow starting from a BLIF-level network (skips HDL)."""
+    flow = DesignFlow(options)
+    opts = flow.options
+    flow.result.name = logic.name
+    flow.result.logic = logic
+    mapped = optimize_and_map(logic, opts.arch.k)
+    flow.result.mapped = mapped.network
+    flow.result.clustered = pack_netlist(
+        mapped.network, n=opts.arch.n, i=opts.arch.inputs_per_clb,
+        k=opts.arch.k)
+    flow.place_and_route()
+    flow.power_estimation()
+    flow.program()
+    return flow.result
+
+
+def _format_place(pl: Placement) -> str:
+    lines = [f"Netlist placement, grid {pl.grid_size} x {pl.grid_size}",
+             "#block\tx\ty\tsub"]
+    for block, site in sorted(pl.loc.items()):
+        lines.append(f"{block}\t{site.x}\t{site.y}\t{site.sub}")
+    return "\n".join(lines) + "\n"
+
+
+def _format_route(rr: RoutingResult) -> str:
+    lines = [f"Routing: {len(rr.trees)} nets, "
+             f"channel width {rr.channel_width}"]
+    for name, tree in sorted(rr.trees.items()):
+        lines.append(f"net {name}:")
+        for node, parent in tree.parents.items():
+            lines.append(f"  {node} <- {parent}")
+    return "\n".join(lines) + "\n"

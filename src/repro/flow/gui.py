@@ -1,0 +1,107 @@
+"""The six-stage GUI (Fig. 12), rendered for terminal and browser.
+
+The paper's GUI is a web page with six independent stages (File
+Upload, Synthesis, Format Translation, Power Estimation, Placement and
+Routing, FPGA Program) wired to the command-line tools.  This module
+reproduces the same structure two ways:
+
+* :class:`FlowGui` -- a textual panel showing per-stage status and
+  timings as the flow runs (usable in any terminal);
+* :func:`render_html` -- a static, self-contained HTML page with the
+  six stage panels and the run's results, the offline analogue of the
+  paper's browser front end.
+"""
+
+from __future__ import annotations
+
+from ..flow.flow import DesignFlow, FlowResult
+
+__all__ = ["FlowGui", "render_text", "render_html"]
+
+_STATUS_GLYPH = {"pending": "[ ]", "running": "[~]", "done": "[x]",
+                 "failed": "[!]"}
+
+
+class FlowGui:
+    """Track and render stage status for a flow run."""
+
+    def __init__(self):
+        self.status = {s: "pending" for s in DesignFlow.STAGES}
+        self.messages: dict[str, str] = {}
+
+    def set(self, stage: str, status: str, message: str = "") -> None:
+        if stage not in self.status:
+            raise ValueError(f"unknown stage {stage!r}")
+        self.status[stage] = status
+        if message:
+            self.messages[stage] = message
+
+    def run(self, flow: DesignFlow, vhdl_text: str,
+            echo=print) -> FlowResult:
+        """Run all stages, updating and echoing the panel."""
+        steps = [
+            ("File Upload", lambda: flow.upload(vhdl_text)),
+            ("Synthesis", flow.synthesis),
+            ("Format Translation", flow.translation),
+            ("Placement and Routing", flow.place_and_route),
+            ("Power Estimation", flow.power_estimation),
+            ("FPGA Program", flow.program),
+        ]
+        for stage, fn in steps:
+            self.set(stage, "running")
+            try:
+                fn()
+            except Exception as exc:
+                self.set(stage, "failed", str(exc))
+                echo(self.render())
+                raise
+            self.set(stage, "done")
+        echo(self.render())
+        return flow.result
+
+
+    def render(self) -> str:
+        return render_text(self)
+
+
+def render_text(gui: FlowGui) -> str:
+    """Terminal rendering of the six-stage panel."""
+    lines = ["+----- FPGA design flow " + "-" * 24 + "+"]
+    for stage in DesignFlow.STAGES:
+        glyph = _STATUS_GLYPH[gui.status[stage]]
+        msg = gui.messages.get(stage, "")
+        lines.append(f"| {glyph} {stage:<24} {msg[:18]:<18}|")
+    lines.append("+" + "-" * 47 + "+")
+    return "\n".join(lines)
+
+
+def render_html(result: FlowResult, gui: FlowGui | None = None) -> str:
+    """Self-contained HTML page mirroring the Fig. 12 web GUI."""
+    gui = gui or FlowGui()
+    rows = []
+    for stage in DesignFlow.STAGES:
+        status = gui.status.get(stage, "pending")
+        rows.append(
+            f"<tr><td>{stage}</td><td class='{status}'>{status}"
+            f"</td></tr>")
+    summary_rows = "".join(
+        f"<tr><td>{k}</td><td>{v}</td></tr>"
+        for k, v in result.summary().items())
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>FPGA design framework - {result.name}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2em; }}
+ table {{ border-collapse: collapse; margin-bottom: 2em; }}
+ td, th {{ border: 1px solid #888; padding: 4px 10px; }}
+ .done {{ background: #cfc; }} .failed {{ background: #fcc; }}
+ .running {{ background: #ffc; }}
+</style></head><body>
+<h1>Integrated FPGA design framework</h1>
+<h2>Design: {result.name or "(none)"}</h2>
+<h3>Flow stages</h3>
+<table><tr><th>Stage</th><th>Status</th></tr>{"".join(rows)}</table>
+<h3>Results</h3>
+<table><tr><th>Metric</th><th>Value</th></tr>{summary_rows}</table>
+</body></html>
+"""

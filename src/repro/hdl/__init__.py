@@ -1,0 +1,7 @@
+"""VHDL front end: lexer, parser (syntax checker) and DIVINER synthesis."""
+
+from .parser import VhdlSyntaxError, check_syntax, parse_vhdl
+from .synth import SynthesisError, synthesize, synthesize_design
+
+__all__ = ["SynthesisError", "VhdlSyntaxError", "check_syntax",
+           "parse_vhdl", "synthesize", "synthesize_design"]

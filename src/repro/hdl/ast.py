@@ -1,0 +1,155 @@
+"""AST node definitions for the synthesisable VHDL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr", "Ref", "Index", "Literal", "VectorLiteral", "Unary",
+    "Binary", "Compare", "Concat", "SignalDecl", "PortDecl",
+    "Assignment", "ConditionalAssignment", "SelectedAssignment",
+    "SeqAssign", "IfStatement", "ProcessStatement", "Entity",
+    "Architecture", "DesignFile",
+]
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """A plain signal reference."""
+    name: str
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """An indexed vector reference, e.g. ``v(3)``."""
+    name: str
+    index: int
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A character literal ``'0'`` or ``'1'``."""
+    value: int
+
+
+@dataclass(frozen=True)
+class VectorLiteral(Expr):
+    """A string literal, MSB first, e.g. ``"0101"``."""
+    bits: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """``not x``."""
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Logical binary operation: and/or/nand/nor/xor/xnor."""
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """Equality/inequality comparison (yields a single bit)."""
+    op: str          # '=' or '/='
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """Vector concatenation ``a & b``."""
+    parts: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    names: tuple[str, ...]
+    direction: str          # 'in' | 'out'
+    width: int | None       # None = std_logic scalar
+    msb: int = 0
+    lsb: int = 0
+
+
+@dataclass(frozen=True)
+class SignalDecl:
+    names: tuple[str, ...]
+    width: int | None
+    msb: int = 0
+    lsb: int = 0
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Concurrent ``target <= expr;``."""
+    target: Ref | Index
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class ConditionalAssignment:
+    """``target <= e1 when c1 else e2 when c2 else e3;``."""
+    target: Ref | Index
+    arms: tuple[tuple[Expr, Expr], ...]   # (value, condition)
+    default: Expr
+
+
+@dataclass(frozen=True)
+class SelectedAssignment:
+    """``with sel select target <= v0 when "00", ... vd when others;``."""
+    target: Ref | Index
+    selector: Expr
+    choices: tuple[tuple[str, Expr], ...]  # (pattern, value)
+    default: Expr | None
+
+
+@dataclass(frozen=True)
+class SeqAssign:
+    """Sequential assignment inside a clocked process."""
+    target: Ref | Index
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class IfStatement:
+    """Sequential if/elsif/else."""
+    arms: tuple[tuple[Expr, tuple, ...], ...]
+    # each arm: (condition, statements); condition None for else
+    else_body: tuple = ()
+
+
+@dataclass(frozen=True)
+class ProcessStatement:
+    """A clocked process: ``if rising_edge(clk) then ... end if;``."""
+    clock: str
+    body: tuple               # of SeqAssign | IfStatement
+    sensitivity: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Entity:
+    name: str
+    ports: tuple[PortDecl, ...]
+
+
+@dataclass
+class Architecture:
+    name: str
+    entity: str
+    signals: list[SignalDecl] = field(default_factory=list)
+    statements: list = field(default_factory=list)
+
+
+@dataclass
+class DesignFile:
+    entities: dict[str, Entity] = field(default_factory=dict)
+    architectures: list[Architecture] = field(default_factory=list)

@@ -1,0 +1,96 @@
+"""VHDL-93 lexer for the synthesisable subset the flow accepts.
+
+Produces a stream of :class:`Token` with line/column positions so the
+parser (the "VHDL Parser" tool of the paper's flow) can report syntax
+errors precisely.  Comments (``--``) are stripped; identifiers are
+case-insensitive and normalised to lower case, as VHDL requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "VhdlLexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "library", "use", "entity", "is", "port", "in", "out", "end",
+    "architecture", "of", "signal", "begin", "process", "if", "then",
+    "elsif", "else", "and", "or", "nand", "nor", "xor", "xnor", "not",
+    "when", "others", "downto", "to", "std_logic", "std_logic_vector",
+    "rising_edge", "falling_edge", "all", "select", "with", "constant",
+    "generic", "integer", "component", "map",
+}
+
+_SYMBOLS = ["<=", "=>", ":=", "/=", "(", ")", ";", ":", ",", "=", "&",
+            "'", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'id', 'keyword', 'symbol', 'char', 'string', 'int'
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # compact for error messages
+        return f"{self.kind}:{self.value}@{self.line}:{self.col}"
+
+
+class VhdlLexError(ValueError):
+    """Lexical error with position info."""
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise VHDL source."""
+    tokens: list[Token] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("--", 1)[0]
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            if c.isspace():
+                i += 1
+                continue
+            col = i + 1
+            if c == "'" and i + 2 < n and line[i + 2] == "'":
+                # Character literal '0' / '1' / '-' etc.
+                tokens.append(Token("char", line[i + 1], lineno, col))
+                i += 3
+                continue
+            if c == '"':
+                j = line.find('"', i + 1)
+                if j < 0:
+                    raise VhdlLexError(
+                        f"line {lineno}: unterminated string literal")
+                tokens.append(Token("string", line[i + 1:j], lineno, col))
+                i = j + 1
+                continue
+            if c.isdigit():
+                j = i
+                while j < n and line[j].isdigit():
+                    j += 1
+                tokens.append(Token("int", line[i:j], lineno, col))
+                i = j
+                continue
+            if c.isalpha() or c == "_":
+                j = i
+                while j < n and (line[j].isalnum() or line[j] == "_"):
+                    j += 1
+                word = line[i:j].lower()
+                kind = "keyword" if word in KEYWORDS else "id"
+                tokens.append(Token(kind, word, lineno, col))
+                i = j
+                continue
+            matched = False
+            for sym in _SYMBOLS:
+                if line.startswith(sym, i):
+                    tokens.append(Token("symbol", sym, lineno, col))
+                    i += len(sym)
+                    matched = True
+                    break
+            if not matched:
+                raise VhdlLexError(
+                    f"line {lineno}, col {col}: unexpected character "
+                    f"{c!r}")
+    return tokens

@@ -1,0 +1,361 @@
+"""DIVINER: behavioural-VHDL synthesiser (VHDL -> structural netlist).
+
+Elaborates the parsed design (bit-blasting vectors into scalar nets
+named ``v_3`` .. ``v_0``) and synthesises every construct of the
+supported subset into the technology-independent gate library:
+
+* logical operators -> AND/OR/NAND/NOR/XOR/XNOR/INV gates, elementwise
+  over equal-width operands;
+* comparisons -> XNOR + AND reduction trees;
+* conditional / selected assignments -> MUX2 chains with decoded
+  selects;
+* clocked processes -> next-state logic (if/elsif trees become MUX2
+  chains with hold-feedback) in front of one DFF per assigned bit.
+
+The output is a :class:`~repro.netlist.structural.StructuralNetlist`
+that :func:`~repro.netlist.edif.write_edif` serialises -- the same
+hand-off (EDIF in "commercial tool format") the paper's DIVINER makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.structural import StructuralNetlist
+from . import ast as A
+from .parser import parse_vhdl
+
+__all__ = ["SynthesisError", "synthesize", "synthesize_design",
+           "elaborate_entity"]
+
+
+class SynthesisError(ValueError):
+    """Semantic/elaboration error during synthesis."""
+
+
+@dataclass
+class _Signal:
+    """An elaborated signal: its bit nets, MSB first."""
+
+    name: str
+    bits: list[str]     # net names, index 0 = MSB
+    msb: int
+    lsb: int
+    is_input: bool = False
+    is_output: bool = False
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    def bit_net(self, index: int) -> str:
+        """Net for VHDL index ``index`` (honours downto numbering)."""
+        if not (self.lsb <= index <= self.msb):
+            raise SynthesisError(
+                f"index {index} out of range for {self.name}"
+                f"({self.msb} downto {self.lsb})")
+        return self.bits[self.msb - index]
+
+
+class _Synth:
+    """Synthesis context for one architecture."""
+
+    def __init__(self, entity: A.Entity, arch: A.Architecture):
+        self.net = StructuralNetlist(entity.name)
+        self.signals: dict[str, _Signal] = {}
+        self._uniq = 0
+        self._const_nets: dict[int, str] = {}
+        self._elaborate(entity, arch)
+
+    # -- helpers -------------------------------------------------------
+    def fresh(self, hint: str = "n") -> str:
+        self._uniq += 1
+        return f"{hint}${self._uniq}"
+
+    def emit(self, gate: str, out_hint: str = "n", **pins: str) -> str:
+        """Instantiate a gate; returns its fresh output net name."""
+        out = self.fresh(out_hint)
+        name = f"u${len(self.net.instances)}"
+        from ..netlist.structural import GATE_LIBRARY
+        gt = GATE_LIBRARY[gate]
+        out_pin = gt.output if not gt.sequential else "Q"
+        self.net.add_instance(name, gate, {**pins, out_pin: out})
+        return out
+
+    def const(self, value: int) -> str:
+        """Net tied to constant 0/1 (shared)."""
+        if value not in self._const_nets:
+            gate = "CONST1" if value else "CONST0"
+            self._const_nets[value] = self.emit(gate, f"const{value}")
+        return self._const_nets[value]
+
+    # -- elaboration -----------------------------------------------------
+    def _declare(self, name: str, width: int | None, msb: int, lsb: int,
+                 *, is_input: bool = False,
+                 is_output: bool = False) -> _Signal:
+        if name in self.signals:
+            raise SynthesisError(f"duplicate signal {name!r}")
+        if width is None:
+            bits = [name]
+            sig = _Signal(name, bits, 0, 0, is_input, is_output)
+        else:
+            bits = [f"{name}_{i}" for i in range(msb, lsb - 1, -1)]
+            sig = _Signal(name, bits, msb, lsb, is_input, is_output)
+        self.signals[name] = sig
+        return sig
+
+    def _elaborate(self, entity: A.Entity, arch: A.Architecture) -> None:
+        for port in entity.ports:
+            for pname in port.names:
+                sig = self._declare(pname, port.width, port.msb, port.lsb,
+                                    is_input=port.direction == "in",
+                                    is_output=port.direction == "out")
+                for bit in sig.bits:
+                    self.net.add_port(bit, "input" if port.direction ==
+                                      "in" else "output")
+        for decl in arch.signals:
+            for sname in decl.names:
+                self._declare(sname, decl.width, decl.msb, decl.lsb)
+
+        for stmt in arch.statements:
+            if isinstance(stmt, A.Assignment):
+                self._assign(stmt.target, self._expr(stmt.expr,
+                                                     self._target_width(
+                                                         stmt.target)))
+            elif isinstance(stmt, A.ConditionalAssignment):
+                self._conditional(stmt)
+            elif isinstance(stmt, A.SelectedAssignment):
+                self._selected(stmt)
+            elif isinstance(stmt, A.ProcessStatement):
+                self._process(stmt)
+            else:
+                raise SynthesisError(f"unsupported statement {stmt!r}")
+
+    # -- targets --------------------------------------------------------
+    def _target_nets(self, target: A.Ref | A.Index) -> list[str]:
+        sig = self.signals.get(target.name)
+        if sig is None:
+            raise SynthesisError(f"unknown signal {target.name!r}")
+        if sig.is_input:
+            raise SynthesisError(f"cannot assign to input {target.name!r}")
+        if isinstance(target, A.Index):
+            return [sig.bit_net(target.index)]
+        return list(sig.bits)
+
+    def _target_width(self, target: A.Ref | A.Index) -> int:
+        return len(self._target_nets(target))
+
+    def _assign(self, target: A.Ref | A.Index, value: list[str]) -> None:
+        nets = self._target_nets(target)
+        if len(nets) != len(value):
+            raise SynthesisError(
+                f"width mismatch assigning {target.name}: "
+                f"{len(nets)} vs {len(value)}")
+        for dst, src in zip(nets, value):
+            # Connect via a BUF so every named signal has a driver
+            # instance (DRUID sweeps redundant buffers later).
+            name = f"u${len(self.net.instances)}"
+            self.net.add_instance(name, "BUF", {"A": src, "Y": dst})
+
+    # -- expressions ------------------------------------------------------
+    def _expr(self, expr: A.Expr, want_width: int | None = None
+              ) -> list[str]:
+        """Synthesise an expression; returns bit nets, MSB first."""
+        if isinstance(expr, A.Literal):
+            return [self.const(expr.value)]
+        if isinstance(expr, A.VectorLiteral):
+            return [self.const(int(b)) for b in expr.bits]
+        if isinstance(expr, A.Ref):
+            sig = self.signals.get(expr.name)
+            if sig is None:
+                raise SynthesisError(f"unknown signal {expr.name!r}")
+            return list(sig.bits)
+        if isinstance(expr, A.Index):
+            sig = self.signals.get(expr.name)
+            if sig is None:
+                raise SynthesisError(f"unknown signal {expr.name!r}")
+            return [sig.bit_net(expr.index)]
+        if isinstance(expr, A.Unary):
+            bits = self._expr(expr.operand)
+            return [self.emit("INV", "inv", A=b) for b in bits]
+        if isinstance(expr, A.Binary):
+            left = self._expr(expr.left)
+            right = self._expr(expr.right)
+            if len(left) != len(right):
+                raise SynthesisError(
+                    f"width mismatch in {expr.op}: {len(left)} vs "
+                    f"{len(right)}")
+            gate = {"and": "AND2", "or": "OR2", "nand": "NAND2",
+                    "nor": "NOR2", "xor": "XOR2",
+                    "xnor": "XNOR2"}[expr.op]
+            return [self.emit(gate, expr.op, A=a, B=b)
+                    for a, b in zip(left, right)]
+        if isinstance(expr, A.Compare):
+            return [self._compare(expr)]
+        if isinstance(expr, A.Concat):
+            out: list[str] = []
+            for part in expr.parts:
+                out.extend(self._expr(part))
+            return out
+        raise SynthesisError(f"unsupported expression {expr!r}")
+
+    def _compare(self, expr: A.Compare) -> str:
+        left = self._expr(expr.left)
+        right = self._expr(expr.right)
+        if len(left) != len(right):
+            raise SynthesisError(
+                f"width mismatch in comparison: {len(left)} vs "
+                f"{len(right)}")
+        eq_bits = [self.emit("XNOR2", "eq", A=a, B=b)
+                   for a, b in zip(left, right)]
+        eq = self._and_tree(eq_bits)
+        if expr.op == "/=":
+            return self.emit("INV", "ne", A=eq)
+        return eq
+
+    def _and_tree(self, bits: list[str]) -> str:
+        while len(bits) > 1:
+            nxt = []
+            for i in range(0, len(bits) - 1, 2):
+                nxt.append(self.emit("AND2", "andt", A=bits[i],
+                                     B=bits[i + 1]))
+            if len(bits) % 2:
+                nxt.append(bits[-1])
+            bits = nxt
+        return bits[0]
+
+    def _mux(self, sel: str, if0: str, if1: str) -> str:
+        return self.emit("MUX2", "mux", S=sel, A=if0, B=if1)
+
+    def _condition(self, expr: A.Expr) -> str:
+        bits = self._expr(expr)
+        if len(bits) != 1:
+            raise SynthesisError("condition must be a single bit")
+        return bits[0]
+
+    # -- concurrent conditional / selected assignments ---------------------
+    def _conditional(self, stmt: A.ConditionalAssignment) -> None:
+        width = self._target_width(stmt.target)
+        value = self._expr(stmt.default, width)
+        if len(value) != width:
+            raise SynthesisError("width mismatch in conditional default")
+        for val_expr, cond_expr in reversed(stmt.arms):
+            cond = self._condition(cond_expr)
+            val = self._expr(val_expr, width)
+            if len(val) != width:
+                raise SynthesisError("width mismatch in conditional arm")
+            value = [self._mux(cond, v0, v1)
+                     for v0, v1 in zip(value, val)]
+        self._assign(stmt.target, value)
+
+    def _selected(self, stmt: A.SelectedAssignment) -> None:
+        width = self._target_width(stmt.target)
+        sel_bits = self._expr(stmt.selector)
+        if stmt.default is None:
+            raise SynthesisError(
+                "selected assignment needs a 'when others' arm")
+        value = self._expr(stmt.default, width)
+        for pattern, val_expr in reversed(stmt.choices):
+            if len(pattern) != len(sel_bits):
+                raise SynthesisError(
+                    f"choice {pattern!r} width does not match selector")
+            # Decode: AND of per-bit (bit or NOT bit).
+            terms = []
+            for ch, bit in zip(pattern, sel_bits):
+                terms.append(bit if ch == "1"
+                             else self.emit("INV", "dec", A=bit))
+            hit = self._and_tree(terms)
+            val = self._expr(val_expr, width)
+            value = [self._mux(hit, v0, v1)
+                     for v0, v1 in zip(value, val)]
+        self._assign(stmt.target, value)
+
+    # -- processes ---------------------------------------------------------
+    def _process(self, stmt: A.ProcessStatement) -> None:
+        clk_sig = self.signals.get(stmt.clock)
+        if clk_sig is None or clk_sig.width != 1:
+            raise SynthesisError(
+                f"process clock {stmt.clock!r} must be a scalar signal")
+        clk = clk_sig.bits[0]
+
+        assigns = self._seq_branch(stmt.body, {})
+        for net, d in assigns.items():
+            name = f"u${len(self.net.instances)}"
+            self.net.add_instance(name, "DFF",
+                                  {"D": d, "CLK": clk, "Q": net})
+
+    def _seq_branch(self, stmts, current: dict[str, str]
+                    ) -> dict[str, str]:
+        """Synthesise sequential statements; returns target-net -> D-net."""
+        out = dict(current)
+        for stmt in stmts:
+            if isinstance(stmt, A.SeqAssign):
+                nets = self._target_nets(stmt.target)
+                value = self._expr(stmt.expr, len(nets))
+                if len(nets) != len(value):
+                    raise SynthesisError(
+                        f"width mismatch assigning {stmt.target.name}")
+                for dst, src in zip(nets, value):
+                    out[dst] = src
+            elif isinstance(stmt, A.IfStatement):
+                out = self._seq_if(stmt, out)
+            else:
+                raise SynthesisError(
+                    f"unsupported sequential statement {stmt!r}")
+        return out
+
+    def _seq_if(self, stmt: A.IfStatement,
+                current: dict[str, str]) -> dict[str, str]:
+        else_map = self._seq_branch(stmt.else_body, current)
+        result = else_map
+        for cond_expr, body in reversed(stmt.arms):
+            cond = self._condition(cond_expr)
+            then_map = self._seq_branch(body, current)
+            merged: dict[str, str] = {}
+            for net in set(then_map) | set(result):
+                # Hold = feed the register output back when a branch
+                # leaves the target unassigned.
+                v_then = then_map.get(net, current.get(net, net))
+                v_else = result.get(net, current.get(net, net))
+                merged[net] = (v_then if v_then == v_else
+                               else self._mux(cond, v_else, v_then))
+            result = merged
+        return result
+
+
+def elaborate_entity(design: A.DesignFile,
+                     entity_name: str | None = None
+                     ) -> tuple[A.Entity, A.Architecture]:
+    """Pick the entity/architecture pair to synthesise."""
+    if not design.architectures:
+        raise SynthesisError("no architecture found")
+    if entity_name is None:
+        arch = design.architectures[-1]
+    else:
+        matches = [a for a in design.architectures
+                   if a.entity == entity_name]
+        if not matches:
+            raise SynthesisError(
+                f"no architecture for entity {entity_name!r}")
+        arch = matches[-1]
+    entity = design.entities.get(arch.entity)
+    if entity is None:
+        raise SynthesisError(
+            f"architecture {arch.name!r} references unknown entity "
+            f"{arch.entity!r}")
+    return entity, arch
+
+
+def synthesize_design(design: A.DesignFile,
+                      entity_name: str | None = None) -> StructuralNetlist:
+    """Synthesise a parsed design file."""
+    entity, arch = elaborate_entity(design, entity_name)
+    synth = _Synth(entity, arch)
+    synth.net.validate()
+    return synth.net
+
+
+def synthesize(vhdl_text: str,
+               entity_name: str | None = None) -> StructuralNetlist:
+    """DIVINER entry point: VHDL text -> structural netlist."""
+    return synthesize_design(parse_vhdl(vhdl_text), entity_name)

@@ -1,0 +1,19 @@
+"""Netlist formats and containers used across the CAD flow.
+
+* :mod:`~repro.netlist.logic` -- BLIF-semantics logic network
+* :mod:`~repro.netlist.blif` -- BLIF read/write
+* :mod:`~repro.netlist.structural` -- gate-level structural netlist
+* :mod:`~repro.netlist.edif` -- EDIF 2.0.0 read/write
+"""
+
+from .blif import load_blif, parse_blif, save_blif, write_blif
+from .edif import load_edif, parse_edif, save_edif, write_edif
+from .logic import Cube, Latch, LogicNetwork, LogicNode
+from .structural import GATE_LIBRARY, Instance, Port, StructuralNetlist
+
+__all__ = [
+    "Cube", "GATE_LIBRARY", "Instance", "Latch", "LogicNetwork",
+    "LogicNode", "Port", "StructuralNetlist",
+    "load_blif", "parse_blif", "save_blif", "write_blif",
+    "load_edif", "parse_edif", "save_edif", "write_edif",
+]

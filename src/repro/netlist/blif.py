@@ -1,0 +1,168 @@
+"""BLIF reader/writer (Berkeley Logic Interchange Format subset).
+
+Supports the constructs the flow produces and consumes: ``.model``,
+``.inputs``, ``.outputs``, ``.clock``, ``.names`` single-output covers,
+``.latch`` and ``.end``, with ``\\`` line continuation and ``#``
+comments.  This is the same subset SIS/T-VPack/VPR exchange.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .logic import LogicNetwork
+
+__all__ = ["parse_blif", "write_blif", "load_blif", "save_blif"]
+
+
+class BlifError(ValueError):
+    """Malformed BLIF input."""
+
+
+def _logical_lines(text: str):
+    """Yield comment-stripped, continuation-joined, non-empty lines."""
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip() and not pending:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = pending + line
+        pending = ""
+        if line.strip():
+            yield line.strip()
+    if pending.strip():
+        yield pending.strip()
+
+
+def parse_blif(text: str) -> LogicNetwork:
+    """Parse BLIF text into a :class:`LogicNetwork`."""
+    net: LogicNetwork | None = None
+    cur_fanins: list[str] | None = None
+    cur_output: str | None = None
+    cur_cover: list[str] = []
+
+    def flush_names() -> None:
+        nonlocal cur_fanins, cur_output, cur_cover
+        if cur_output is None:
+            return
+        assert net is not None
+        net.add_node(cur_output, cur_fanins or [], cur_cover)
+        cur_fanins, cur_output, cur_cover = None, None, []
+
+    for line in _logical_lines(text):
+        if line.startswith("."):
+            parts = line.split()
+            cmd = parts[0]
+            if cmd == ".model":
+                if net is not None:
+                    raise BlifError("multiple .model sections")
+                net = LogicNetwork(parts[1] if len(parts) > 1 else "top")
+            elif cmd == ".inputs":
+                flush_names()
+                _require(net, cmd)
+                for p in parts[1:]:
+                    net.add_input(p)
+            elif cmd == ".outputs":
+                flush_names()
+                _require(net, cmd)
+                for p in parts[1:]:
+                    net.add_output(p)
+            elif cmd == ".clock":
+                flush_names()
+                _require(net, cmd)
+                for p in parts[1:]:
+                    if p not in net.clocks:
+                        net.clocks.append(p)
+            elif cmd == ".names":
+                flush_names()
+                _require(net, cmd)
+                if len(parts) < 2:
+                    raise BlifError(".names needs at least an output")
+                cur_fanins = parts[1:-1]
+                cur_output = parts[-1]
+                cur_cover = []
+            elif cmd == ".latch":
+                flush_names()
+                _require(net, cmd)
+                if len(parts) < 3:
+                    raise BlifError(f"bad .latch line: {line!r}")
+                inp, out = parts[1], parts[2]
+                ltype, control, init = "re", "clk", 2
+                rest = parts[3:]
+                if len(rest) >= 2 and rest[0] in ("re", "fe", "ah",
+                                                  "al", "as"):
+                    ltype, control = rest[0], rest[1]
+                    rest = rest[2:]
+                if rest:
+                    init = int(rest[0])
+                net.add_latch(inp, out, ltype=ltype, control=control,
+                              init=init)
+            elif cmd == ".end":
+                flush_names()
+            else:
+                raise BlifError(f"unsupported BLIF directive {cmd!r}")
+        else:
+            # A cover row: "in-pattern out-value" or just "1" for
+            # constant-1 nodes.
+            if cur_output is None:
+                raise BlifError(f"cover row outside .names: {line!r}")
+            parts = line.split()
+            if cur_fanins:
+                if len(parts) != 2:
+                    raise BlifError(f"bad cover row {line!r}")
+                pattern, value = parts
+            else:
+                if len(parts) != 1:
+                    raise BlifError(f"bad constant row {line!r}")
+                pattern, value = "", parts[0]
+            if value == "1":
+                cur_cover.append(pattern)
+            elif value == "0":
+                raise BlifError(
+                    "off-set (.names with output 0) covers are not "
+                    "supported; normalise to on-set first")
+            else:
+                raise BlifError(f"bad cover output {value!r}")
+
+    flush_names()
+    if net is None:
+        raise BlifError("no .model found")
+    return net
+
+
+def _require(net: LogicNetwork | None, cmd: str) -> None:
+    if net is None:
+        raise BlifError(f"{cmd} before .model")
+
+
+def write_blif(net: LogicNetwork) -> str:
+    """Serialise a :class:`LogicNetwork` to BLIF text."""
+    lines = [f".model {net.name}"]
+    if net.inputs:
+        lines.append(".inputs " + " ".join(net.inputs))
+    if net.outputs:
+        lines.append(".outputs " + " ".join(net.outputs))
+    for clk in net.clocks:
+        lines.append(f".clock {clk}")
+    for latch in net.latches:
+        lines.append(f".latch {latch.input} {latch.output} "
+                     f"{latch.ltype} {latch.control} {latch.init}")
+    for node in net.nodes.values():
+        lines.append(".names " + " ".join([*node.fanins, node.name]))
+        for cube in node.cover:
+            lines.append(f"{cube} 1" if node.fanins else "1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def load_blif(path: str | Path) -> LogicNetwork:
+    """Read a BLIF file from disk."""
+    return parse_blif(Path(path).read_text())
+
+
+def save_blif(net: LogicNetwork, path: str | Path) -> None:
+    """Write a BLIF file to disk."""
+    Path(path).write_text(write_blif(net))

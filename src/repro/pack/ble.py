@@ -1,0 +1,87 @@
+"""BLE (Basic Logic Element) formation -- T-VPack's first phase.
+
+A BLE is one LUT plus one flip-flop plus the 2:1 output mux (Fig. 1a).
+T-VPack pairs a LUT with a latch when the latch registers exactly that
+LUT's output and nobody else reads the unregistered signal; otherwise
+LUTs and latches occupy separate BLEs (a lone latch uses the BLE in
+flow-through mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netlist.logic import Latch, LogicNetwork
+
+__all__ = ["BLE", "form_bles"]
+
+
+@dataclass
+class BLE:
+    """One packed basic logic element.
+
+    ``inputs`` are the external nets feeding the LUT (or the latch D
+    pin when there is no LUT); ``output`` is the net the BLE drives
+    (the latch output when registered, else the LUT output).
+    """
+
+    name: str
+    lut: str | None                 # LUT node name in the mapped network
+    latch: Latch | None
+    inputs: list[str] = field(default_factory=list)
+    output: str = ""
+    clock: str | None = None
+
+    @property
+    def registered(self) -> bool:
+        return self.latch is not None
+
+    def nets(self) -> set[str]:
+        """All nets this BLE touches (inputs + output)."""
+        return set(self.inputs) | {self.output}
+
+
+def form_bles(net: LogicNetwork, k: int = 4) -> list[BLE]:
+    """Group the mapped network's LUTs and latches into BLEs."""
+    if not net.is_k_feasible(k):
+        raise ValueError(
+            f"network is not {k}-feasible (max fanin "
+            f"{net.max_fanin()}); run the mapper first")
+
+    fanouts = net.fanout_map()
+    latch_by_input: dict[str, Latch] = {}
+    for latch in net.latches:
+        # Two latches sharing a D net cannot both absorb the LUT.
+        latch_by_input.setdefault(latch.input, latch)
+
+    bles: list[BLE] = []
+    absorbed_latches: set[int] = set()
+    outputs = set(net.outputs)
+
+    for name, node in net.nodes.items():
+        latch = latch_by_input.get(name)
+        can_pair = (
+            latch is not None
+            # The unregistered signal must have no other readers: the
+            # only fanout is the latch (it is not a PO and feeds no
+            # other node or latch).
+            and name not in outputs
+            and not fanouts.get(name)
+            and sum(1 for l in net.latches if l.input == name) == 1
+        )
+        if can_pair:
+            absorbed_latches.add(id(latch))
+            bles.append(BLE(name=name, lut=name, latch=latch,
+                            inputs=list(node.fanins),
+                            output=latch.output, clock=latch.control))
+        else:
+            bles.append(BLE(name=name, lut=name, latch=None,
+                            inputs=list(node.fanins), output=name))
+
+    for latch in net.latches:
+        if id(latch) in absorbed_latches:
+            continue
+        bles.append(BLE(name=f"{latch.output}.ff", lut=None, latch=latch,
+                        inputs=[latch.input], output=latch.output,
+                        clock=latch.control))
+    return bles

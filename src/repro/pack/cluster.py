@@ -1,0 +1,166 @@
+"""Greedy attraction-based clustering -- T-VPack's second phase.
+
+Fills CLBs (clusters of ``N`` BLEs with ``I`` distinct external input
+nets and one clock) using the published T-VPack algorithm: seed each
+cluster with the unclustered BLE using the most inputs, then repeatedly
+add the feasible BLE with the highest *attraction* (number of nets
+shared with the cluster).  Nets generated inside the cluster are free
+(the fully connected local crossbar of the paper's CLB feeds any BLE
+output back to any LUT input), so absorbing connected BLEs reduces the
+external input count -- the effect Eq. 1's ``I = (K/2)(N+1)``
+provisioning is based on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netlist.logic import LogicNetwork
+from .ble import BLE, form_bles
+
+__all__ = ["Cluster", "ClusteredNetlist", "pack_netlist"]
+
+
+@dataclass
+class Cluster:
+    """One CLB's worth of BLEs."""
+
+    name: str
+    n: int                       # capacity (BLEs)
+    i: int                       # external input budget
+    bles: list[BLE] = field(default_factory=list)
+    clock: str | None = None
+
+    def internal_outputs(self) -> set[str]:
+        return {b.output for b in self.bles}
+
+    def external_inputs(self) -> set[str]:
+        """Distinct nets entering the cluster from outside."""
+        internal = self.internal_outputs()
+        out: set[str] = set()
+        for ble in self.bles:
+            out.update(i for i in ble.inputs if i not in internal)
+        return out
+
+    def can_add(self, ble: BLE) -> bool:
+        if len(self.bles) >= self.n:
+            return False
+        if ble.clock is not None:
+            if self.clock is not None and self.clock != ble.clock:
+                return False
+        internal = self.internal_outputs() | {ble.output}
+        inputs: set[str] = set()
+        for b in [*self.bles, ble]:
+            inputs.update(i for i in b.inputs if i not in internal)
+        return len(inputs) <= self.i
+
+    def add(self, ble: BLE) -> None:
+        if not self.can_add(ble):
+            raise ValueError(f"BLE {ble.name} does not fit in {self.name}")
+        self.bles.append(ble)
+        if ble.clock is not None:
+            self.clock = ble.clock
+
+    def attraction(self, ble: BLE) -> int:
+        """Shared-net count between the candidate and the cluster."""
+        nets: set[str] = set()
+        for b in self.bles:
+            nets |= b.nets()
+        return len(nets & ble.nets())
+
+
+@dataclass
+class ClusteredNetlist:
+    """Output of packing: clusters plus the design's IO."""
+
+    name: str
+    n: int
+    i: int
+    k: int
+    clusters: list[Cluster] = field(default_factory=list)
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    clocks: list[str] = field(default_factory=list)
+
+    def ble_count(self) -> int:
+        return sum(len(c.bles) for c in self.clusters)
+
+    def utilization(self) -> float:
+        """Fraction of BLE slots used across the allocated clusters."""
+        if not self.clusters:
+            return 1.0
+        return self.ble_count() / (len(self.clusters) * self.n)
+
+    def nets(self) -> dict[str, dict]:
+        """net -> {"driver": block name, "sinks": [block names]}.
+
+        Blocks are cluster names and IO pad names (``pi:x`` / ``po:x``).
+        Nets entirely internal to one cluster are omitted: they live on
+        the local crossbar, not the routing fabric.
+        """
+        driver: dict[str, str] = {}
+        sinks: dict[str, list[str]] = {}
+        for pi in self.inputs:
+            driver[pi] = f"pi:{pi}"
+        for c in self.clusters:
+            for b in c.bles:
+                driver[b.output] = c.name
+        for c in self.clusters:
+            internal = c.internal_outputs()
+            for netname in c.external_inputs():
+                sinks.setdefault(netname, []).append(c.name)
+        for po in self.outputs:
+            sinks.setdefault(po, []).append(f"po:{po}")
+
+        out: dict[str, dict] = {}
+        for netname, snks in sinks.items():
+            if netname not in driver:
+                raise ValueError(f"net {netname!r} has no driver")
+            out[netname] = {"driver": driver[netname], "sinks": snks}
+        return out
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "clusters": len(self.clusters),
+            "bles": self.ble_count(),
+            "utilization": round(self.utilization(), 4),
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+        }
+
+
+def pack_netlist(net: LogicNetwork, *, n: int = 5, i: int = 12,
+                 k: int = 4) -> ClusteredNetlist:
+    """Pack a K-feasible mapped network into (N, I, K) clusters."""
+    bles = form_bles(net, k)
+    unpacked: list[BLE] = sorted(bles, key=lambda b: -len(b.inputs))
+    result = ClusteredNetlist(net.name, n, i, k,
+                              inputs=list(net.inputs),
+                              outputs=list(net.outputs),
+                              clocks=list(net.clocks))
+
+    remaining = list(unpacked)
+    cluster_idx = 0
+    while remaining:
+        seed = remaining.pop(0)
+        cluster = Cluster(f"clb{cluster_idx}", n, i)
+        cluster_idx += 1
+        cluster.add(seed)
+        while len(cluster.bles) < n:
+            best = None
+            best_score = -1
+            for ble in remaining:
+                if not cluster.can_add(ble):
+                    continue
+                score = cluster.attraction(ble)
+                if score > best_score:
+                    best, best_score = ble, score
+            if best is None or best_score <= 0:
+                # T-VPack also fills with unconnected BLEs only when
+                # asked for maximum density; we keep related packing.
+                break
+            remaining.remove(best)
+            cluster.add(best)
+        result.clusters.append(cluster)
+
+    return result

@@ -1,0 +1,135 @@
+""".net file format (T-VPack output / VPR input), VPR 4.3 style.
+
+One block per ``.input`` / ``.output`` / ``.clb`` section; each CLB
+lists its pinlist (I input slots, N output slots, one clock slot, with
+``open`` for unused pins) and one ``subblock`` line per BLE giving the
+pin indices each LUT input uses (or ``open``), the output slot, and the
+clock.  Cluster-internal feedback connections are encoded, as VPR does,
+by referencing the driving BLE's output slot index offset past the
+input pins.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .cluster import Cluster, ClusteredNetlist
+from .ble import BLE
+
+__all__ = ["write_net", "parse_net", "save_net", "load_net"]
+
+OPEN = "open"
+
+
+def write_net(cn: ClusteredNetlist) -> str:
+    """Serialise a clustered netlist to .net text."""
+    lines: list[str] = []
+    for clk in cn.clocks:
+        lines.append(f".global {clk}")
+        lines.append("")
+    for pi in cn.inputs:
+        lines.append(f".input {pi}")
+        lines.append(f"pinlist: {pi}")
+        lines.append("")
+    for po in cn.outputs:
+        lines.append(f".output out:{po}")
+        lines.append(f"pinlist: {po}")
+        lines.append("")
+    for c in cn.clusters:
+        ext = sorted(c.external_inputs())
+        if len(ext) > cn.i:
+            raise ValueError(f"cluster {c.name} exceeds input budget")
+        in_slots = ext + [OPEN] * (cn.i - len(ext))
+        out_slots = [b.output for b in c.bles]
+        out_slots += [OPEN] * (cn.n - len(out_slots))
+        clk = c.clock or OPEN
+        lines.append(f".clb {c.name}")
+        lines.append("pinlist: " + " ".join([*in_slots, *out_slots, clk]))
+        internal = {b.output: cn.i + j for j, b in enumerate(c.bles)}
+        pin_of = {net: idx for idx, net in enumerate(ext)}
+        pin_of.update(internal)
+        for j, b in enumerate(c.bles):
+            pins = [str(pin_of[i]) for i in b.inputs]
+            pins += [OPEN] * (cn.k - len(pins))
+            clk_pin = str(cn.i + cn.n) if b.clock else OPEN
+            lines.append(
+                f"subblock: {b.name} " + " ".join(pins)
+                + f" {cn.i + j} {clk_pin}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def parse_net(text: str, *, n: int = 5, i: int = 12,
+              k: int = 4, name: str = "top") -> ClusteredNetlist:
+    """Parse .net text back into a :class:`ClusteredNetlist`.
+
+    BLE covers/latches are not present in .net (VPR reads those from
+    the BLIF); parsed BLEs carry connectivity only.
+    """
+    cn = ClusteredNetlist(name, n, i, k)
+    lines = [l.rstrip() for l in text.splitlines()]
+    idx = 0
+
+    def pinlist(expect_prefix: str = "pinlist:") -> list[str]:
+        nonlocal idx
+        parts = lines[idx].split()
+        if parts[0] != expect_prefix.rstrip():
+            raise ValueError(f"expected pinlist at line {idx + 1}")
+        idx += 1
+        return parts[1:]
+
+    while idx < len(lines):
+        line = lines[idx]
+        if not line.strip():
+            idx += 1
+            continue
+        parts = line.split()
+        if parts[0] == ".global":
+            cn.clocks.append(parts[1])
+            idx += 1
+        elif parts[0] == ".input":
+            idx += 1
+            cn.inputs.append(pinlist()[0])
+        elif parts[0] == ".output":
+            idx += 1
+            cn.outputs.append(pinlist()[0])
+        elif parts[0] == ".clb":
+            cname = parts[1]
+            idx += 1
+            pins = pinlist()
+            if len(pins) != i + n + 1:
+                raise ValueError(
+                    f"clb {cname}: pinlist has {len(pins)} entries, "
+                    f"expected {i + n + 1}")
+            cluster = Cluster(cname, n, i)
+            clk = pins[-1]
+            cluster.clock = None if clk == OPEN else clk
+            while idx < len(lines) and lines[idx].startswith("subblock:"):
+                sparts = lines[idx].split()
+                bname = sparts[1]
+                pin_idx = sparts[2:2 + k]
+                out_idx = int(sparts[2 + k])
+                clk_pin = sparts[3 + k]
+                inputs = []
+                for p in pin_idx:
+                    if p == OPEN:
+                        continue
+                    inputs.append(pins[int(p)])
+                ble = BLE(name=bname, lut=None, latch=None,
+                          inputs=inputs, output=pins[out_idx],
+                          clock=(cluster.clock
+                                 if clk_pin != OPEN else None))
+                cluster.bles.append(ble)
+                idx += 1
+            cn.clusters.append(cluster)
+        else:
+            raise ValueError(f"unexpected line {idx + 1}: {line!r}")
+    return cn
+
+
+def save_net(cn: ClusteredNetlist, path: str | Path) -> None:
+    Path(path).write_text(write_net(cn))
+
+
+def load_net(path: str | Path, **kw) -> ClusteredNetlist:
+    return parse_net(Path(path).read_text(), **kw)

@@ -1,0 +1,5 @@
+"""VPR-role placement (adaptive simulated annealing)."""
+
+from .placer import CROSSING_FACTOR, Placement, place, wirelength_cost
+
+__all__ = ["CROSSING_FACTOR", "Placement", "place", "wirelength_cost"]

@@ -1,0 +1,238 @@
+"""VPR-style simulated-annealing placement.
+
+Implements the published VPR placer: bounding-box wirelength cost with
+the pin-count crossing correction q(n), an adaptive temperature
+schedule driven by the move acceptance rate, a shrinking move-range
+limit (Rlim), and the standard exit criterion
+``T < 0.005 * cost / n_nets``.
+
+Blocks are the packed clusters plus one IO pad block per primary
+input/output; sites come from the
+:class:`~repro.arch.fabric.FabricGrid`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..arch.fabric import FabricGrid, Site
+from ..arch.params import ArchParams
+from ..pack.cluster import ClusteredNetlist
+
+__all__ = ["Placement", "place", "wirelength_cost", "CROSSING_FACTOR"]
+
+#: VPR's q(n) crossing-count correction for nets with n terminals.
+CROSSING_FACTOR = [
+    1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385,
+    1.3991, 1.4493, 1.4974, 1.5455, 1.5937, 1.6418, 1.6899, 1.7304,
+    1.7709, 1.8114, 1.8519, 1.8924,
+]
+
+
+def _q(n_pins: int) -> float:
+    if n_pins < len(CROSSING_FACTOR):
+        return CROSSING_FACTOR[n_pins]
+    return 2.79 + 0.02616 * (n_pins - 50)
+
+
+@dataclass
+class Placement:
+    """Result of placement: block name -> site."""
+
+    arch: ArchParams
+    grid_size: int
+    loc: dict[str, Site] = field(default_factory=dict)
+    cost: float = 0.0
+    nets: dict[str, dict] = field(default_factory=dict)
+
+    def site_of(self, block: str) -> Site:
+        return self.loc[block]
+
+    def stats(self) -> dict[str, float]:
+        return {"grid": self.grid_size, "blocks": len(self.loc),
+                "nets": len(self.nets), "bbox_cost": round(self.cost, 3)}
+
+
+def _net_bbox_cost(placement: dict[str, Site],
+                   net: dict) -> float:
+    blocks = [net["driver"], *net["sinks"]]
+    xs = [placement[b].x for b in blocks]
+    ys = [placement[b].y for b in blocks]
+    span = (max(xs) - min(xs) + 1) + (max(ys) - min(ys) + 1)
+    return _q(len(blocks)) * span
+
+
+def wirelength_cost(placement: dict[str, Site],
+                    nets: dict[str, dict]) -> float:
+    """Total bounding-box cost of a placement."""
+    return sum(_net_bbox_cost(placement, net) for net in nets.values())
+
+
+def place(cn: ClusteredNetlist, arch: ArchParams, *,
+          grid_size: int | None = None, seed: int = 1,
+          effort: float = 1.0) -> Placement:
+    """Place a clustered netlist; returns the final :class:`Placement`.
+
+    ``effort`` scales the moves-per-temperature count (1.0 = the VPR
+    default ``10 * n_blocks^1.33``).
+    """
+    rng = random.Random(seed)
+    nets = cn.nets()
+
+    io_blocks = ([f"pi:{p}" for p in cn.inputs]
+                 + [f"po:{p}" for p in cn.outputs])
+    clb_blocks = [c.name for c in cn.clusters]
+
+    if grid_size is None:
+        grid_size = arch.grid_size_for(len(clb_blocks), len(io_blocks))
+    grid = FabricGrid(arch, grid_size)
+
+    clb_sites = grid.clb_sites()
+    io_sites = grid.io_sites()
+    if len(clb_blocks) > len(clb_sites):
+        raise ValueError(f"{len(clb_blocks)} CLBs do not fit a "
+                         f"{grid_size}x{grid_size} grid")
+    if len(io_blocks) > len(io_sites):
+        raise ValueError("not enough IO sites")
+
+    # Random initial placement.
+    rng.shuffle(clb_sites)
+    rng.shuffle(io_sites)
+    loc: dict[str, Site] = {}
+    for b, s in zip(clb_blocks, clb_sites):
+        loc[b] = s
+    for b, s in zip(io_blocks, io_sites):
+        loc[b] = s
+
+    occupant: dict[tuple, str] = {s.key(): b for b, s in loc.items()}
+    free_sites = {"clb": [s for s in clb_sites[len(clb_blocks):]],
+                  "io": [s for s in io_sites[len(io_blocks):]]}
+
+    # Net membership per block for incremental cost updates.
+    nets_of: dict[str, list[str]] = {}
+    for name, net in nets.items():
+        for b in {net["driver"], *net["sinks"]}:
+            nets_of.setdefault(b, []).append(name)
+
+    net_cost = {name: _net_bbox_cost(loc, net)
+                for name, net in nets.items()}
+    cost = sum(net_cost.values())
+
+    blocks = clb_blocks + io_blocks
+    movable = [b for b in blocks if nets_of.get(b)]
+    if not movable or not nets:
+        return Placement(arch, grid_size, loc, cost, nets)
+
+    # Initial temperature: VPR uses 20 * std-dev of random-move deltas.
+    deltas = []
+    for _ in range(min(50, 5 * len(movable))):
+        d = _try_move(rng, loc, occupant, free_sites, movable, grid_size,
+                      nets, nets_of, net_cost, t=float("inf"),
+                      rlim=grid_size, commit_always=True)
+        if d is not None:
+            deltas.append(d)
+            cost += d
+    std = (sum(d * d for d in deltas) / len(deltas)) ** 0.5 if deltas \
+        else 1.0
+    t = 20.0 * max(std, 1e-6)
+
+    rlim = float(grid_size)
+    moves_per_t = max(10, int(effort * 10 * len(movable) ** (4 / 3)))
+
+    while t >= 0.005 * max(cost, 1e-9) / len(nets):
+        accepted = 0
+        for _ in range(moves_per_t):
+            d = _try_move(rng, loc, occupant, free_sites, movable,
+                          grid_size, nets, nets_of, net_cost, t=t,
+                          rlim=rlim)
+            if d is not None:
+                accepted += 1
+                cost += d
+        rate = accepted / moves_per_t
+        if rate > 0.96:
+            t *= 0.5
+        elif rate > 0.8:
+            t *= 0.9
+        elif rate > 0.15 and rlim > 1.0:
+            t *= 0.95
+        else:
+            t *= 0.8
+        rlim = min(max(1.0, rlim * (1.0 - 0.44 + rate)),
+                   float(grid_size))
+        # Periodic full recompute to cancel floating-point drift.
+        cost = sum(net_cost.values())
+
+    cost = wirelength_cost(loc, nets)
+    return Placement(arch, grid_size, loc, cost, nets)
+
+
+def _try_move(rng, loc, occupant, free_sites, movable, grid_size, nets,
+              nets_of, net_cost, *, t, rlim,
+              commit_always: bool = False) -> float | None:
+    """Propose one move/swap; returns the committed delta or None."""
+    block = rng.choice(movable)
+    site = loc[block]
+    kind = site.kind
+
+    # Candidate target within rlim (IO pads move along the perimeter
+    # freely; rlim restricts CLB moves).
+    if kind == "clb":
+        r = max(1, int(rlim))
+        nx = min(max(1, site.x + rng.randint(-r, r)), grid_size)
+        ny = min(max(1, site.y + rng.randint(-r, r)), grid_size)
+        target = Site("clb", nx, ny)
+        if target.key() == site.key():
+            return None
+    else:
+        pool = free_sites["io"] + [loc[b] for b in movable
+                                   if loc[b].kind == "io" and b != block]
+        if not pool:
+            return None
+        target = rng.choice(pool)
+
+    other = occupant.get(target.key())
+    affected = set(nets_of.get(block, ()))
+    if other is not None:
+        affected |= set(nets_of.get(other, ()))
+
+    old = {n: net_cost[n] for n in affected}
+
+    # Apply tentatively.
+    loc[block] = target
+    occupant[target.key()] = block
+    if other is not None:
+        loc[other] = site
+        occupant[site.key()] = other
+    else:
+        del occupant[site.key()]
+        if target in free_sites[kind]:
+            free_sites[kind].remove(target)
+        free_sites[kind].append(site)
+
+    delta = 0.0
+    for n in affected:
+        new = _net_bbox_cost(loc, nets[n])
+        delta += new - old[n]
+        net_cost[n] = new
+
+    accept = (commit_always or delta <= 0
+              or rng.random() < math.exp(-delta / t))
+    if accept:
+        return delta
+
+    # Revert.
+    loc[block] = site
+    occupant[site.key()] = block
+    if other is not None:
+        loc[other] = target
+        occupant[target.key()] = other
+    else:
+        del occupant[target.key()]
+        if site in free_sites[kind]:
+            free_sites[kind].remove(site)
+        free_sites[kind].append(target)
+    for n, c in old.items():
+        net_cost[n] = c
+    return None

@@ -1,0 +1,7 @@
+"""PowerModel role: activity estimation + FPGA power model."""
+
+from .activity import signal_probabilities, switching_activities
+from .model import PowerReport, clb_transistor_count, estimate_power
+
+__all__ = ["PowerReport", "clb_transistor_count", "estimate_power",
+           "signal_probabilities", "switching_activities"]

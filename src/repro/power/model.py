@@ -1,0 +1,153 @@
+"""PowerModel: FPGA power estimation (the Poon FPL'02 role).
+
+Estimates dynamic, short-circuit and leakage power of a packed, placed
+and routed design:
+
+* **routing dynamic power** -- per net, ``0.5 Vdd^2 f a C_net`` where
+  ``C_net`` is the capacitance of the actual route tree (wire +
+  switch parasitics + input-buffer loads from the RR graph);
+* **logic dynamic power** -- per-BLE LUT and crossbar energies plus
+  flip-flop energy, anchored to the transistor-level characterisation
+  of the circuit experiments (Tables 1 and 2);
+* **clock power** -- the CLB-local clock networks of Table 3, with or
+  without the gated-clock technique (the architecture's headline
+  feature);
+* **short-circuit power** -- the customary 10 % of dynamic;
+* **leakage** -- subthreshold current of the transistor population
+  (used plus configuration memory) at Vdd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.params import ArchParams
+from ..arch.rrgraph import RRGraph
+from ..circuit.technology import STM018, Technology
+from ..netlist.logic import LogicNetwork
+from ..pack.cluster import ClusteredNetlist
+from ..place.placer import Placement
+from ..route.router import RoutingResult
+from .activity import switching_activities
+
+__all__ = ["PowerReport", "estimate_power", "clb_transistor_count"]
+
+#: Energy anchors from the circuit-level experiments (J per event).
+LUT_EVAL_ENERGY = 12e-15          # one LUT output transition
+XBAR_MUX_ENERGY = 4e-15           # one 17:1 crossbar mux transition
+FF_TOGGLE_ENERGY = 22e-15         # Llopis1 per output transition
+CLB_CLOCK_CYCLE_ENERGY = 56e-15   # Table 3 single-clock, all FFs loaded
+CLB_CLOCK_GATED_IDLE = 14e-15     # Table 3 gated, all FFs off
+
+
+@dataclass
+class PowerReport:
+    """Per-component power estimate in watts."""
+
+    f_clk_hz: float
+    routing_w: float = 0.0
+    logic_w: float = 0.0
+    clock_w: float = 0.0
+    short_circuit_w: float = 0.0
+    leakage_w: float = 0.0
+    per_net_w: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dynamic_w(self) -> float:
+        return self.routing_w + self.logic_w + self.clock_w
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.short_circuit_w + self.leakage_w
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "f_clk_MHz": round(self.f_clk_hz / 1e6, 2),
+            "routing_mW": round(self.routing_w * 1e3, 4),
+            "logic_mW": round(self.logic_w * 1e3, 4),
+            "clock_mW": round(self.clock_w * 1e3, 4),
+            "short_circuit_mW": round(self.short_circuit_w * 1e3, 4),
+            "leakage_mW": round(self.leakage_w * 1e3, 4),
+            "total_mW": round(self.total_w * 1e3, 4),
+        }
+
+
+def clb_transistor_count(arch: ArchParams) -> int:
+    """Transistor estimate for one CLB (logic + configuration).
+
+    Per BLE: 2^K 6T SRAM cells, a 2(2^K - 1)-transistor mux tree, the
+    ~20T DETFF, the output mux and clock gating; per LUT input a 17:1
+    pass-mux with 5 config bits; connection/switch-box switches are
+    counted with the routing fabric instead.
+    """
+    lut_sram = (1 << arch.k) * 6
+    lut_mux = 2 * ((1 << arch.k) - 1)
+    ff = 20
+    ble_misc = 10
+    per_ble = lut_sram + lut_mux + ff + ble_misc
+    xbar_in = arch.inputs_per_clb + arch.n
+    per_lut_input = xbar_in + 5 * 6         # pass mux + config bits
+    return arch.n * (per_ble + arch.k * per_lut_input)
+
+
+def estimate_power(
+    mapped: LogicNetwork,
+    cn: ClusteredNetlist,
+    placement: Placement,
+    routing: RoutingResult,
+    g: RRGraph,
+    arch: ArchParams,
+    *,
+    f_clk_hz: float = 100e6,
+    gated_clock: bool = True,
+    pi_prob: float = 0.5,
+    tech: Technology = STM018,
+) -> PowerReport:
+    """Estimate total power at clock frequency ``f_clk_hz``."""
+    act = switching_activities(mapped, pi_prob=pi_prob)
+    vdd2 = tech.vdd * tech.vdd
+    report = PowerReport(f_clk_hz=f_clk_hz)
+
+    # -- routing -------------------------------------------------------
+    for name, tree in routing.trees.items():
+        c_net = sum(g.nodes[n].c_f for n in tree.parents)
+        a = act.get(name, 1.0)
+        p = 0.5 * vdd2 * f_clk_hz * a * c_net
+        report.per_net_w[name] = p
+        report.routing_w += p
+
+    # -- logic ------------------------------------------------------------
+    for c in cn.clusters:
+        for b in c.bles:
+            a_out = act.get(b.output, 0.5)
+            if b.lut is not None:
+                report.logic_w += f_clk_hz * a_out * LUT_EVAL_ENERGY
+                for inp in b.inputs:
+                    a_in = act.get(inp, 0.5)
+                    report.logic_w += (f_clk_hz * a_in
+                                       * XBAR_MUX_ENERGY)
+            if b.registered:
+                report.logic_w += f_clk_hz * a_out * FF_TOGGLE_ENERGY
+
+    # -- clock ------------------------------------------------------------
+    for c in cn.clusters:
+        has_ff = any(b.registered for b in c.bles)
+        if not has_ff:
+            e = CLB_CLOCK_GATED_IDLE if gated_clock else \
+                CLB_CLOCK_CYCLE_ENERGY
+        else:
+            e = CLB_CLOCK_CYCLE_ENERGY
+        report.clock_w += f_clk_hz * e
+
+    # -- short circuit -----------------------------------------------------
+    report.short_circuit_w = 0.10 * report.dynamic_w
+
+    # -- leakage --------------------------------------------------------
+    n_clb_t = clb_transistor_count(arch) * len(cn.clusters)
+    n_route_t = sum(
+        1 for n in g.nodes if n.kind in ("CHANX", "CHANY")
+    ) * (3 if arch.switch_type == "pass" else 10)
+    # Half the transistor population leaks (the off half), at w_min.
+    i_leak = tech.i_off_per_m * tech.w_min
+    report.leakage_w = 0.5 * (n_clb_t + n_route_t) * i_leak * tech.vdd
+    return report

@@ -1,0 +1,7 @@
+"""VPR-role routing (PathFinder negotiated congestion)."""
+
+from .router import (RouteTree, RoutingResult, route,
+                     route_min_channel_width)
+
+__all__ = ["RouteTree", "RoutingResult", "route",
+           "route_min_channel_width"]

@@ -1,0 +1,224 @@
+"""PathFinder negotiated-congestion routing (the VPR router).
+
+Each net is routed as a Steiner tree over the routing-resource graph:
+sinks are connected one at a time by Dijkstra searches seeded with the
+net's current partial tree.  Congestion is negotiated across iterations
+with the classic PathFinder cost
+
+    cost(n) = base(n) * (1 + h(n)) * p(n)
+
+where ``p`` grows with present overuse (scaled by a pressure factor
+that increases every iteration) and ``h`` accumulates historical
+overuse.  Routing succeeds when no node is shared illegally.
+
+:func:`route_min_channel_width` performs VPR's binary search for the
+minimum channel width that routes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..arch.params import ArchParams
+from ..arch.rrgraph import RRGraph, build_rr_graph
+from ..place.placer import Placement
+
+__all__ = ["RouteTree", "RoutingResult", "route", "route_min_channel_width"]
+
+_BASE_COST = {"SOURCE": 1.0, "OPIN": 1.0, "CHANX": 1.0, "CHANY": 1.0,
+              "IPIN": 0.95, "SINK": 0.0}
+
+
+@dataclass
+class RouteTree:
+    """Routed tree of one net: rr-node -> parent rr-node (root: -1)."""
+
+    net: str
+    source: int
+    parents: dict[int, int] = field(default_factory=dict)
+
+    def nodes(self) -> list[int]:
+        return list(self.parents)
+
+    def wirelength(self, g: RRGraph) -> int:
+        return sum(1 for n in self.parents
+                   if g.nodes[n].kind in ("CHANX", "CHANY"))
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing a placed design."""
+
+    success: bool
+    iterations: int
+    trees: dict[str, RouteTree]
+    channel_width: int
+    overused: int = 0
+
+    def total_wirelength(self, g: RRGraph) -> int:
+        return sum(t.wirelength(g) for t in self.trees.values())
+
+    def stats(self, g: RRGraph | None = None) -> dict[str, float]:
+        out = {"success": self.success, "iterations": self.iterations,
+               "nets": len(self.trees),
+               "channel_width": self.channel_width}
+        if g is not None:
+            out["wirelength"] = self.total_wirelength(g)
+        return out
+
+
+def _capacity(g: RRGraph, idx: int) -> int:
+    node = g.nodes[idx]
+    if node.kind in ("CHANX", "CHANY", "OPIN", "IPIN"):
+        return 1
+    # SOURCE/SINK capacities: a CLB can absorb several different nets
+    # (one per input pin) and emit several (one per BLE output).
+    if node.kind == "SINK":
+        return g.arch.inputs_per_clb
+    return g.arch.clb_outputs
+
+
+def route(placement: Placement, g: RRGraph, *,
+          max_iterations: int = 40, pres_fac_mult: float = 1.6,
+          acc_fac: float = 0.5) -> RoutingResult:
+    """Route every net of a placement over the RR graph."""
+    nets = placement.nets
+    # Net terminals in rr-node space.
+    terminals: dict[str, tuple[int, list[int]]] = {}
+    for name, net in nets.items():
+        src_site = placement.loc[net["driver"]]
+        src = g.source_of(src_site)
+        sinks = [g.sink_of(placement.loc[b]) for b in net["sinks"]]
+        terminals[name] = (src, sinks)
+
+    n = g.n_nodes()
+    occ = [0] * n
+    hist = [1.0] * n
+    cap = [_capacity(g, i) for i in range(n)]
+    trees: dict[str, RouteTree] = {}
+    pres_fac = 0.5
+
+    # Route larger nets first (harder to route).
+    order = sorted(nets, key=lambda nm: -len(nets[nm]["sinks"]))
+
+    for it in range(1, max_iterations + 1):
+        for name in order:
+            src, sinks = terminals[name]
+            old = trees.pop(name, None)
+            if old is not None:
+                for node in old.parents:
+                    occ[node] -= 1
+            tree = _route_net(g, src, sinks, occ, hist, cap, pres_fac)
+            for node in tree.parents:
+                occ[node] += 1
+            trees[name] = tree
+
+        overused = sum(1 for i in range(n) if occ[i] > cap[i])
+        if overused == 0:
+            return RoutingResult(True, it, trees,
+                                 g.arch.channel_width)
+        for i in range(n):
+            if occ[i] > cap[i]:
+                hist[i] += acc_fac * (occ[i] - cap[i])
+        pres_fac *= pres_fac_mult
+
+    return RoutingResult(False, max_iterations, trees,
+                         g.arch.channel_width, overused)
+
+
+def _route_net(g: RRGraph, src: int, sinks: list[int], occ, hist, cap,
+               pres_fac: float) -> RouteTree:
+    """Route one net: sequential Dijkstra from the growing tree."""
+    tree = RouteTree("", src, {src: -1})
+    remaining = [s for s in sinks]
+    # De-duplicate sinks (two sinks on the same block share a SINK node
+    # but consume two pins; routing once suffices for connectivity).
+    seen: set[int] = set()
+    remaining = [s for s in remaining
+                 if not (s in seen or seen.add(s))]
+
+    nodes = g.nodes
+    for target in remaining:
+        # Dijkstra seeded with every node already in the tree at cost 0.
+        dist: dict[int, float] = {}
+        prev: dict[int, int] = {}
+        heap: list[tuple[float, int]] = []
+        for t_node in tree.parents:
+            dist[t_node] = 0.0
+            heapq.heappush(heap, (0.0, t_node))
+        found = False
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, float("inf")):
+                continue
+            if u == target:
+                found = True
+                break
+            for v in nodes[u].edges:
+                node_v = nodes[v]
+                if node_v.kind == "SINK" and v != target:
+                    continue
+                over = occ[v] + 1 - cap[v]
+                p = 1.0 + (pres_fac * over if over > 0 else 0.0)
+                c = _BASE_COST[node_v.kind] * hist[v] * p
+                ndist = d + c
+                if ndist < dist.get(v, float("inf")):
+                    dist[v] = ndist
+                    prev[v] = u
+                    heapq.heappush(heap, (ndist, v))
+        if not found:
+            raise RuntimeError(
+                "routing graph disconnected: sink unreachable "
+                "(channel width too small for even one net?)")
+        # Walk back and add the path to the tree.
+        node = target
+        while node not in tree.parents:
+            tree.parents[node] = prev[node]
+            node = prev[node]
+    return tree
+
+
+def route_min_channel_width(placement: Placement, arch: ArchParams,
+                            *, w_min: int = 2, w_max: int = 64,
+                            max_iterations: int = 30
+                            ) -> tuple[int, RoutingResult, RRGraph]:
+    """Binary search for the minimum routable channel width.
+
+    Returns ``(width, result, rr_graph)`` for the smallest width that
+    routes successfully.
+    """
+    from dataclasses import replace
+
+    def attempt(w: int):
+        a = replace(arch, channel_width=w)
+        g = build_rr_graph(a, placement.grid_size)
+        try:
+            r = route(placement, g, max_iterations=max_iterations)
+        except RuntimeError:
+            return None, None
+        return (r, g) if r.success else (None, g)
+
+    lo, hi = w_min, w_max
+    best: tuple[int, RoutingResult, RRGraph] | None = None
+    # First find some routable width by doubling.
+    w = lo
+    while w <= hi:
+        r, g = attempt(w)
+        if r is not None:
+            best = (w, r, g)
+            hi = w - 1
+            break
+        w *= 2
+    if best is None:
+        raise RuntimeError(f"unroutable even at width {hi}")
+    lo = max(w_min, w // 2 + 1)
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        r, g = attempt(mid)
+        if r is not None:
+            best = (mid, r, g)
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    return best

@@ -1,0 +1,33 @@
+"""Logic optimisation and LUT mapping (the SIS role in the flow).
+
+Pipeline: :func:`optimize_and_map` = sweep -> per-node two-level
+minimisation -> 2-feasible decomposition -> priority-cut K-LUT mapping
+-> final sweep.  Input and output are BLIF-semantics
+:class:`~repro.netlist.logic.LogicNetwork` objects, mirroring how the
+paper drives SIS (BLIF in, LUT+FF BLIF out).
+"""
+
+from __future__ import annotations
+
+from ..netlist.logic import LogicNetwork
+from .decompose import decompose_network
+from .espresso import minimize_cover, minimize_network
+from .mapper import MappingResult, map_to_luts
+from .sweep import sweep
+
+__all__ = ["sweep", "minimize_cover", "minimize_network",
+           "decompose_network", "map_to_luts", "MappingResult",
+           "optimize_and_map"]
+
+
+def optimize_and_map(net: LogicNetwork, k: int = 4) -> MappingResult:
+    """Full SIS-role pipeline: optimise ``net`` and map to K-LUTs."""
+    work = net.copy()
+    sweep(work)
+    minimize_network(work)
+    sweep(work)
+    work = decompose_network(work)
+    result = map_to_luts(work, k)
+    sweep(result.network)
+    result.lut_count = len(result.network.nodes)
+    return result

@@ -1,0 +1,104 @@
+"""Technology decomposition: break wide nodes into 2-feasible trees.
+
+Standard pre-mapping step (SIS ``tech_decomp -a 2 -o 2``): every SOP
+node becomes a tree of 2-input ANDs (per cube, over possibly inverted
+literals) feeding a tree of 2-input ORs.  The LUT mapper then re-covers
+the fine-grained network into K-input LUTs.
+"""
+
+from __future__ import annotations
+
+from ..netlist.logic import LogicNetwork
+
+__all__ = ["decompose_network"]
+
+
+class _Decomposer:
+    def __init__(self, net: LogicNetwork):
+        self.net = net
+        self.out = LogicNetwork(net.name, list(net.inputs),
+                                list(net.outputs))
+        self.out.clocks = list(net.clocks)
+        self._uniq = 0
+        self._inv_cache: dict[str, str] = {}
+
+    def fresh(self, hint: str) -> str:
+        self._uniq += 1
+        return f"{hint}~{self._uniq}"
+
+    def inv(self, sig: str) -> str:
+        cached = self._inv_cache.get(sig)
+        if cached is not None:
+            return cached
+        name = self.fresh(f"{sig}_n")
+        self.out.add_node(name, [sig], ["0"])
+        self._inv_cache[sig] = name
+        return name
+
+    def and2(self, a: str, b: str) -> str:
+        name = self.fresh("a2")
+        self.out.add_node(name, [a, b], ["11"])
+        return name
+
+    def or2(self, a: str, b: str) -> str:
+        name = self.fresh("o2")
+        self.out.add_node(name, [a, b], ["1-", "-1"])
+        return name
+
+    def _tree(self, terms: list[str], op) -> str:
+        """Balanced binary tree over ``terms``."""
+        while len(terms) > 1:
+            nxt = []
+            for i in range(0, len(terms) - 1, 2):
+                nxt.append(op(terms[i], terms[i + 1]))
+            if len(terms) % 2:
+                nxt.append(terms[-1])
+            terms = nxt
+        return terms[0]
+
+    def node(self, name: str) -> None:
+        node = self.net.nodes[name]
+        if not node.fanins:
+            # Constant: keep as-is.
+            self.out.add_node(name, [], list(node.cover))
+            return
+        cube_sigs: list[str] = []
+        for cube in node.cover:
+            lits: list[str] = []
+            for i, c in enumerate(cube):
+                if c == "1":
+                    lits.append(node.fanins[i])
+                elif c == "0":
+                    lits.append(self.inv(node.fanins[i]))
+            if not lits:
+                # Tautological cube: the node is constant 1 (after
+                # sweep this should not happen, but stay correct).
+                self.out.add_node(name, [], [""])
+                return
+            cube_sigs.append(self._tree(lits, self.and2))
+        if not cube_sigs:
+            self.out.add_node(name, [], [])
+            return
+        result = self._tree(cube_sigs, self.or2)
+        # The final value must carry the original name.  `result` may
+        # be a shared subterm (an inverter-cache node or even a primary
+        # input), so alias through a buffer node; the closing sweep
+        # collapses the unprotected ones.
+        self.out.add_node(name, [result], ["1"])
+
+    def run(self) -> LogicNetwork:
+        for name in self.net.topo_order():
+            self.node(name)
+        for latch in self.net.latches:
+            self.out.add_latch(latch.input, latch.output,
+                               ltype=latch.ltype, control=latch.control,
+                               init=latch.init)
+        self.out.validate()
+        return self.out
+
+
+def decompose_network(net: LogicNetwork) -> LogicNetwork:
+    """Return a 2-feasible version of ``net`` (new network)."""
+    from .sweep import sweep
+
+    return sweep(_Decomposer(net).run())

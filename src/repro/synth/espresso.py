@@ -1,0 +1,146 @@
+"""Two-level minimisation (the SIS/espresso role).
+
+For the node sizes this flow produces (library gates and mapped LUT
+covers, <= ~10 inputs) an exact-ish Quine-McCluskey style minimiser is
+affordable and deterministic: compute the node's on-set, generate all
+prime implicants, then greedily cover (essential primes first, then a
+max-coverage heuristic).  The result is a minimal-or-near-minimal SOP
+with the same truth table -- verified by construction in tests.
+"""
+
+from __future__ import annotations
+
+from ..netlist.logic import Cube, LogicNetwork, LogicNode
+
+__all__ = ["minimize_cover", "minimize_node", "minimize_network",
+           "MAX_ESPRESSO_INPUTS"]
+
+#: Nodes with more fanins than this are left untouched (QM blows up).
+MAX_ESPRESSO_INPUTS = 10
+
+
+def _minterms_of(cover: list[str], n: int) -> set[int]:
+    out: set[int] = set()
+    for cube in cover:
+        free = [i for i, c in enumerate(cube) if c == "-"]
+        base = 0
+        for i, c in enumerate(cube):
+            if c == "1":
+                base |= 1 << i
+        for mask in range(1 << len(free)):
+            m = base
+            for k, pos in enumerate(free):
+                if (mask >> k) & 1:
+                    m |= 1 << pos
+            out.add(m)
+    return out
+
+
+def _cube_of(minterm: int, dashes: int, n: int) -> str:
+    """Cube string for a (value, dash-mask) pair."""
+    out = []
+    for i in range(n):
+        if (dashes >> i) & 1:
+            out.append("-")
+        else:
+            out.append("1" if (minterm >> i) & 1 else "0")
+    return "".join(out)
+
+
+def prime_implicants(minterms: set[int], n: int) -> list[tuple[int, int]]:
+    """All prime implicants as (value, dash-mask) pairs (QM merging)."""
+    if not minterms:
+        return []
+    current = {(m, 0) for m in minterms}
+    primes: set[tuple[int, int]] = set()
+    while current:
+        merged: set[tuple[int, int]] = set()
+        used: set[tuple[int, int]] = set()
+        cur = sorted(current)
+        by_dash: dict[int, list[tuple[int, int]]] = {}
+        for item in cur:
+            by_dash.setdefault(item[1], []).append(item)
+        for dash, items in by_dash.items():
+            vals = {v for v, _ in items}
+            for v, d in items:
+                for bit in range(n):
+                    mask = 1 << bit
+                    if d & mask:
+                        continue
+                    partner = v ^ mask
+                    if partner in vals and partner > v:
+                        merged.add((v & ~mask, d | mask))
+                        used.add((v, d))
+                        used.add((partner, d))
+        primes.update(current - used)
+        current = merged
+    return sorted(primes)
+
+
+def _covered(prime: tuple[int, int], minterm: int) -> bool:
+    v, d = prime
+    return (minterm & ~d) == (v & ~d)
+
+
+def minimize_cover(cover: list[str], n: int) -> list[str]:
+    """Minimise an on-set cover over ``n`` inputs.
+
+    Returns a new list of cube strings with identical truth table.
+    """
+    if n == 0:
+        return [""] if cover else []
+    minterms = _minterms_of(cover, n)
+    if not minterms:
+        return []
+    if len(minterms) == (1 << n):
+        return ["-" * n]
+    primes = prime_implicants(minterms, n)
+
+    # Essential primes first.
+    chosen: list[tuple[int, int]] = []
+    remaining = set(minterms)
+    for m in sorted(minterms):
+        covering = [p for p in primes if _covered(p, m)]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for p in chosen:
+        remaining -= {m for m in remaining if _covered(p, m)}
+
+    # Greedy max-coverage for the rest.
+    pool = [p for p in primes if p not in chosen]
+    while remaining:
+        best = max(pool,
+                   key=lambda p: sum(1 for m in remaining
+                                     if _covered(p, m)))
+        gain = sum(1 for m in remaining if _covered(best, m))
+        if gain == 0:
+            raise AssertionError("prime cover failed to make progress")
+        chosen.append(best)
+        pool.remove(best)
+        remaining -= {m for m in remaining if _covered(best, m)}
+
+    return [_cube_of(v, d, n) for v, d in sorted(chosen)]
+
+
+def minimize_node(node: LogicNode) -> bool:
+    """Minimise one node in place; returns True if it changed."""
+    n = len(node.fanins)
+    if n > MAX_ESPRESSO_INPUTS:
+        return False
+    new_cover = minimize_cover(node.cover, n)
+    # Drop fanins that became unused (all dashes in every cube).
+    used = [i for i in range(n)
+            if any(c[i] != "-" for c in new_cover)]
+    if len(used) != n:
+        node.fanins = [node.fanins[i] for i in used]
+        new_cover = ["".join(c[i] for i in used) for c in new_cover]
+        if not node.fanins:
+            new_cover = [""] if new_cover else []
+    changed = new_cover != node.cover
+    node.cover = new_cover
+    return changed
+
+
+def minimize_network(net: LogicNetwork) -> int:
+    """Minimise every node; returns the number of nodes changed."""
+    return sum(1 for node in net.nodes.values() if minimize_node(node))

@@ -1,0 +1,154 @@
+"""K-LUT technology mapping (priority cuts, depth-optimal).
+
+This performs the SIS role's final step: covering the optimised,
+2-feasible network with K-input LUTs.  The algorithm is the standard
+cut-based mapper (Mishchenko et al. "priority cuts"; depth-optimal like
+FlowMap for the kept cut set):
+
+1. enumerate cuts bottom-up -- a node's cuts are the trivial cut plus
+   all unions of one cut per fanin that stay within K leaves, keeping
+   the ``CUTS_PER_NODE`` best by (depth, size);
+2. choose each node's representative cut minimising mapped depth, with
+   cut size as the tie-break (area proxy);
+3. cover the network from the roots (primary outputs and latch inputs),
+   instantiating one LUT per selected cut, whose cover is computed by
+   exhaustive cone evaluation and re-minimised.
+
+Latches pass through unchanged: a latch output is a cut leaf (mapping
+input) and a latch input is a root, exactly how T-VPack expects the
+BLIF from SIS to look.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.logic import LogicNetwork
+from .espresso import minimize_cover
+
+__all__ = ["map_to_luts", "MappingResult", "CUTS_PER_NODE"]
+
+#: Priority-cut list length per node.
+CUTS_PER_NODE = 8
+
+
+@dataclass
+class MappingResult:
+    """Outcome of LUT mapping."""
+
+    network: LogicNetwork      # LUT-mapped network (nodes are LUTs)
+    depth: int                 # mapped logic depth in LUT levels
+    lut_count: int
+
+    def stats(self) -> dict[str, int]:
+        return {"luts": self.lut_count, "depth": self.depth,
+                **self.network.stats()}
+
+
+def _cone_cover(net: LogicNetwork, root: str,
+                leaves: tuple[str, ...]) -> list[str]:
+    """SOP cover of ``root`` as a function of ``leaves``."""
+    n = len(leaves)
+    minterm_cubes: list[str] = []
+    cache: dict[str, int] = {}
+
+    def eval_node(name: str, assign: dict[str, int]) -> int:
+        if name in assign:
+            return assign[name]
+        if name in cache:
+            return cache[name]
+        node = net.nodes[name]
+        val = node.eval({f: eval_node(f, assign) for f in node.fanins})
+        cache[name] = val
+        return val
+
+    for m in range(1 << n):
+        assign = {leaf: (m >> i) & 1 for i, leaf in enumerate(leaves)}
+        cache = {}
+        if eval_node(root, assign):
+            minterm_cubes.append(
+                "".join(str((m >> i) & 1) for i in range(n)))
+    return minimize_cover(minterm_cubes, n)
+
+
+def map_to_luts(net: LogicNetwork, k: int = 4, *,
+                cuts_per_node: int = CUTS_PER_NODE) -> MappingResult:
+    """Map ``net`` onto K-input LUTs; returns a new network."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    order = net.topo_order()
+    sources = set(net.inputs) | net.latch_outputs
+
+    # depth[s] = mapped depth of the best cut rooted at s (0 for PIs).
+    depth: dict[str, int] = {s: 0 for s in sources}
+    # cuts[s] = list of (leaves tuple, depth)
+    cuts: dict[str, list[tuple[tuple[str, ...], int]]] = {
+        s: [((s,), 0)] for s in sources}
+    best: dict[str, tuple[str, ...]] = {}
+
+    for name in order:
+        node = net.nodes[name]
+        cand: dict[tuple[str, ...], int] = {}
+        if not node.fanins:
+            # Constant node: zero-input LUT.
+            cuts[name] = [((), 0)]
+            depth[name] = 0
+            best[name] = ()
+            continue
+        # Merge one cut per fanin (cartesian, pruned by size).  The
+        # depth of a merged cut is 1 + the worst *leaf* depth: the
+        # absorbed fanin logic lives inside the LUT.  Because every
+        # signal's cut list starts with its self-cut {signal}, the
+        # merge naturally produces the trivial cut (the node's fanins)
+        # as well as all deeper covers.
+        fanin_cuts = [cuts[f][:cuts_per_node] for f in node.fanins]
+
+        def merge(i: int, leaves: frozenset) -> None:
+            if len(leaves) > k:
+                return
+            if i == len(fanin_cuts):
+                key = tuple(sorted(leaves))
+                d = 1 + max((depth[l] for l in leaves), default=0)
+                cand[key] = min(cand.get(key, 1 << 30), d)
+                return
+            for leaf_set, _cd in fanin_cuts[i]:
+                merge(i + 1, leaves | frozenset(leaf_set))
+
+        merge(0, frozenset())
+        ranked = sorted(cand.items(), key=lambda kv: (kv[1], len(kv[0])))
+        best[name] = ranked[0][0]
+        depth[name] = ranked[0][1]
+        # The node's own singleton leads its cut list so that fanouts
+        # may stop absorption at this node.
+        cuts[name] = [((name,), depth[name])] + \
+            [(leaves, d) for leaves, d in ranked[:cuts_per_node - 1]]
+
+    # -- covering phase ------------------------------------------------
+    mapped = LogicNetwork(net.name, list(net.inputs), list(net.outputs))
+    mapped.clocks = list(net.clocks)
+
+    required = [s for s in (*net.outputs,
+                            *(l.input for l in net.latches))
+                if s in net.nodes]
+    visited: set[str] = set()
+    while required:
+        name = required.pop()
+        if name in visited:
+            continue
+        visited.add(name)
+        leaves = best[name]
+        cover = _cone_cover(net, name, leaves)
+        mapped.add_node(name, list(leaves), cover)
+        for leaf in leaves:
+            if leaf in net.nodes and leaf not in visited:
+                required.append(leaf)
+
+    for latch in net.latches:
+        mapped.add_latch(latch.input, latch.output, ltype=latch.ltype,
+                         control=latch.control, init=latch.init)
+
+    mapped.validate()
+    mapped_depth = max(
+        (depth[r] for r in visited), default=0)
+    return MappingResult(network=mapped, depth=mapped_depth,
+                         lut_count=len(mapped.nodes))

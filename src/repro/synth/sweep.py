@@ -1,0 +1,121 @@
+"""Network clean-up passes (the SIS ``sweep`` command).
+
+* constant propagation: nodes that evaluate to a constant are folded
+  into their fanouts;
+* buffer collapsing: single-input identity nodes are aliased away;
+* dangling-node removal: logic reachable from no primary output or
+  latch input is deleted.
+"""
+
+from __future__ import annotations
+
+from ..netlist.logic import Cube, LogicNetwork, LogicNode
+
+__all__ = ["propagate_constants", "collapse_buffers", "remove_dangling",
+           "sweep"]
+
+
+def _subst_constant(node: LogicNode, signal: str, value: int) -> None:
+    """Replace fanin ``signal`` with a constant in ``node``'s cover."""
+    idx = node.fanins.index(signal)
+    new_cover = []
+    for cube in node.cover:
+        lit = cube[idx]
+        if lit != "-" and int(lit) != value:
+            continue                      # cube dies
+        new_cover.append(cube[:idx] + cube[idx + 1:])
+    node.fanins.pop(idx)
+    node.cover = new_cover
+    if not node.fanins:
+        # Either constant 0 (empty) or constant 1 (any row remains).
+        node.cover = [""] if new_cover else []
+
+
+def propagate_constants(net: LogicNetwork) -> int:
+    """Fold constant nodes into fanouts; returns #nodes eliminated."""
+    eliminated = 0
+    changed = True
+    protected = set(net.outputs) | net.latch_inputs
+    while changed:
+        changed = False
+        fanouts = net.fanout_map()
+        for name in list(net.nodes):
+            node = net.nodes.get(name)
+            if node is None:
+                continue
+            const = node.is_constant()
+            if const is None:
+                continue
+            # Normalise the node itself to a canonical constant.
+            node.fanins = []
+            node.cover = [""] if const else []
+            if name in protected and not fanouts.get(name):
+                continue
+            for user in fanouts.get(name, ()):  # fold into users
+                unode = net.nodes.get(user)
+                if unode is not None and name in unode.fanins:
+                    _subst_constant(unode, name, const)
+                    changed = True
+            if name not in protected:
+                del net.nodes[name]
+                eliminated += 1
+                changed = True
+    return eliminated
+
+
+def collapse_buffers(net: LogicNetwork) -> int:
+    """Alias away identity nodes (cover ``['1']`` over one fanin)."""
+    alias: dict[str, str] = {}
+    protected = set(net.outputs) | net.latch_inputs
+
+    def resolve(s: str) -> str:
+        while s in alias:
+            s = alias[s]
+        return s
+
+    removed = 0
+    for name in list(net.nodes):
+        node = net.nodes[name]
+        if (len(node.fanins) == 1 and node.cover == ["1"]
+                and name not in protected):
+            alias[name] = node.fanins[0]
+            del net.nodes[name]
+            removed += 1
+
+    if alias:
+        for node in net.nodes.values():
+            node.fanins = [resolve(f) for f in node.fanins]
+        for latch in net.latches:
+            latch.input = resolve(latch.input)
+    return removed
+
+
+def remove_dangling(net: LogicNetwork) -> int:
+    """Delete nodes not reachable from any output or latch input."""
+    live: set[str] = set()
+    stack = [*net.outputs, *(l.input for l in net.latches)]
+    while stack:
+        s = stack.pop()
+        if s in live:
+            continue
+        live.add(s)
+        node = net.nodes.get(s)
+        if node is not None:
+            stack.extend(node.fanins)
+    removed = 0
+    for name in list(net.nodes):
+        if name not in live:
+            del net.nodes[name]
+            removed += 1
+    return removed
+
+
+def sweep(net: LogicNetwork) -> LogicNetwork:
+    """Run all clean-up passes to a fixed point (mutates and returns)."""
+    while True:
+        n = (propagate_constants(net) + collapse_buffers(net)
+             + remove_dangling(net))
+        if n == 0:
+            break
+    net.validate()
+    return net

@@ -1,0 +1,5 @@
+"""Static timing analysis (Elmore over routed nets)."""
+
+from .sta import TimingReport, analyze_timing, elmore_sink_delays
+
+__all__ = ["TimingReport", "analyze_timing", "elmore_sink_delays"]

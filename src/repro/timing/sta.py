@@ -1,0 +1,180 @@
+"""Static timing analysis over a packed, placed and routed design.
+
+Delay model:
+
+* routed nets -- Elmore delay over the PathFinder route tree, using the
+  per-node R/C annotations of the routing-resource graph (wire RC from
+  the metal configuration, switch R from the pass-transistor sizing);
+* intra-cluster connections -- one 17:1 crossbar mux delay;
+* LUT evaluation -- the mux-tree delay measured in the circuit
+  experiments;
+* flip-flops -- Llopis 1 clock-to-Q and setup from Table 1's
+  characterisation.
+
+The report gives the critical path, the maximum clock frequency and --
+because the platform uses double-edge-triggered flip-flops -- the data
+throughput at that frequency (twice the clock rate for the same
+register-to-register delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.params import ArchParams
+from ..arch.rrgraph import RRGraph
+from ..pack.cluster import ClusteredNetlist
+from ..place.placer import Placement
+from ..route.router import RouteTree, RoutingResult
+
+__all__ = ["TimingReport", "elmore_sink_delays", "analyze_timing"]
+
+
+@dataclass
+class TimingReport:
+    """STA outcome."""
+
+    critical_path_s: float
+    fmax_hz: float
+    data_rate_hz: float          # 2x fmax with DETFFs
+    worst_path: list[str] = field(default_factory=list)
+    net_delays: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "critical_path_ns": round(self.critical_path_s * 1e9, 4),
+            "fmax_MHz": round(self.fmax_hz / 1e6, 2),
+            "data_rate_MHz": round(self.data_rate_hz / 1e6, 2),
+        }
+
+
+def elmore_sink_delays(tree: RouteTree, g: RRGraph,
+                       sinks: list[int]) -> dict[int, float]:
+    """Elmore delay from the tree's source to each sink rr-node.
+
+    Standard formulation: every tree node contributes its resistance
+    times the total capacitance downstream of it; the delay to a sink
+    is the sum over the sink's root path of R(node) * C_downstream.
+    """
+    children: dict[int, list[int]] = {}
+    for node, parent in tree.parents.items():
+        if parent >= 0:
+            children.setdefault(parent, []).append(node)
+
+    cdown: dict[int, float] = {}
+
+    def compute_cdown(n: int) -> float:
+        if n in cdown:
+            return cdown[n]
+        total = g.nodes[n].c_f + sum(compute_cdown(c)
+                                     for c in children.get(n, ()))
+        cdown[n] = total
+        return total
+
+    import sys
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, len(tree.parents) + 100))
+    try:
+        compute_cdown(tree.source)
+    finally:
+        sys.setrecursionlimit(old)
+
+    out: dict[int, float] = {}
+    for sink in sinks:
+        if sink not in tree.parents:
+            continue
+        delay = 0.0
+        n = sink
+        while n >= 0:
+            delay += g.nodes[n].r_ohm * cdown.get(n, g.nodes[n].c_f)
+            n = tree.parents.get(n, -1)
+        out[sink] = delay
+    return out
+
+
+def analyze_timing(cn: ClusteredNetlist, placement: Placement,
+                   routing: RoutingResult, g: RRGraph,
+                   arch: ArchParams) -> TimingReport:
+    """Full-design STA; returns the :class:`TimingReport`."""
+    # Per-(net, sink-block) routed delay.
+    net_delay: dict[str, dict[str, float]] = {}
+    for name, net in placement.nets.items():
+        tree = routing.trees.get(name)
+        if tree is None:
+            continue
+        sink_nodes = {b: g.sink_of(placement.loc[b])
+                      for b in net["sinks"]}
+        delays = elmore_sink_delays(tree, g,
+                                    list(set(sink_nodes.values())))
+        net_delay[name] = {b: delays.get(sn, 0.0)
+                           for b, sn in sink_nodes.items()}
+
+    # BLE-level timing graph.  Arrival time of a net = arrival at its
+    # driving BLE output.  Registered outputs launch at clk-to-q.
+    driver_ble: dict[str, tuple[str, object]] = {}   # net -> (clb, ble)
+    for c in cn.clusters:
+        for b in c.bles:
+            driver_ble[b.output] = (c.name, b)
+
+    arrival: dict[str, float] = {}
+
+    def net_arrival(netname: str, stack: tuple = ()) -> float:
+        if netname in arrival:
+            return arrival[netname]
+        if netname in cn.inputs:
+            arrival[netname] = 0.0
+            return 0.0
+        clb, ble = driver_ble[netname]
+        if ble.registered:
+            # Registered outputs start a fresh path: no cycle possible.
+            arrival[netname] = arch.ff_clk_to_q_s
+            return arrival[netname]
+        if netname in stack:
+            raise ValueError(f"combinational loop through {netname!r}")
+        t = 0.0
+        for inp in ble.inputs:
+            t_in = _input_arrival(inp, clb, netname, stack)
+            t = max(t, t_in)
+        t += arch.local_mux_delay_s + arch.lut_delay_s
+        arrival[netname] = t
+        return t
+
+    def _input_arrival(inp: str, clb: str, netname: str,
+                       stack: tuple) -> float:
+        src = net_arrival(inp, stack + (netname,))
+        src_clb = driver_ble.get(inp, (None,))[0]
+        if src_clb == clb:
+            return src                    # local feedback: crossbar only
+        return src + net_delay.get(inp, {}).get(clb, 0.0)
+
+    # Endpoint arrivals: FF D pins (with setup) and primary outputs.
+    worst = 0.0
+    worst_name = ""
+    for c in cn.clusters:
+        for b in c.bles:
+            if not b.registered:
+                continue
+            # The D input is either the local LUT (lut is not None,
+            # zero extra net delay) or the single BLE input net.
+            if b.lut is not None:
+                t = 0.0
+                for inp in b.inputs:
+                    t = max(t, _input_arrival(inp, c.name, b.output, ()))
+                t += arch.local_mux_delay_s + arch.lut_delay_s
+            else:
+                t = _input_arrival(b.inputs[0], c.name, b.output, ())
+            t += arch.ff_setup_s
+            if t > worst:
+                worst, worst_name = t, f"ff:{b.output}"
+    for po in cn.outputs:
+        t = net_arrival(po)
+        t += net_delay.get(po, {}).get(f"po:{po}", 0.0)
+        if t > worst:
+            worst, worst_name = t, f"po:{po}"
+
+    worst = max(worst, arch.ff_clk_to_q_s + arch.ff_setup_s)
+    fmax = 1.0 / worst
+    return TimingReport(critical_path_s=worst, fmax_hz=fmax,
+                        data_rate_hz=2.0 * fmax,
+                        worst_path=[worst_name],
+                        net_delays=net_delay)

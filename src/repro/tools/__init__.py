@@ -1,0 +1,7 @@
+"""Netlist utility tools of the flow (DRUID, E2FMT)."""
+
+from .druid import druid, legalize_names, sweep_buffers
+from .e2fmt import e2fmt, structural_to_logic
+
+__all__ = ["druid", "e2fmt", "legalize_names", "structural_to_logic",
+           "sweep_buffers"]

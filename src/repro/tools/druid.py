@@ -1,0 +1,100 @@
+"""DRUID: EDIF netlist normaliser.
+
+The paper's DRUID massages the EDIF a commercial synthesiser emits so
+the downstream (T-VPack-format) tools can digest it.  Here that means:
+
+* sweep redundant ``BUF`` instances (collapse the buffered net into its
+  driver, preserving port nets);
+* legalise names (BLIF/VPR tools dislike ``$`` and quoted characters);
+* verify the result is a well-formed single-driver netlist.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..netlist.structural import Instance, StructuralNetlist
+
+__all__ = ["sweep_buffers", "legalize_names", "druid"]
+
+_NAME_RE = re.compile(r"[^A-Za-z0-9_\[\]]")
+
+
+def sweep_buffers(net: StructuralNetlist) -> StructuralNetlist:
+    """Remove BUF instances by aliasing their output net to their input.
+
+    A buffer driving a top-level output port (or whose output is also
+    read as a port) keeps the *port* name alive: the alias is applied
+    in the direction that preserves port nets.
+    """
+    port_nets = {p.name for p in net.ports}
+    alias: dict[str, str] = {}
+
+    def resolve(n: str) -> str:
+        seen = []
+        while n in alias:
+            seen.append(n)
+            n = alias[n]
+        for s in seen:            # path compression
+            alias[s] = n
+        return n
+
+    kept: list[Instance] = []
+    for inst in net.instances:
+        if inst.gate != "BUF":
+            kept.append(inst)
+            continue
+        a = resolve(inst.pins["A"])
+        y = resolve(inst.pins["Y"])
+        if a == y:
+            continue
+        if y in port_nets and a in port_nets:
+            # Both ends are ports: a genuine through-buffer must stay.
+            kept.append(inst)
+            continue
+        if y in port_nets:
+            alias[a] = y
+        else:
+            alias[y] = a
+
+    out = StructuralNetlist(net.name)
+    for p in net.ports:
+        out.add_port(p.name, p.direction)
+    for inst in kept:
+        out.add_instance(inst.name, inst.gate,
+                         {pin: resolve(n) for pin, n in inst.pins.items()})
+    return out
+
+
+def legalize_names(net: StructuralNetlist) -> StructuralNetlist:
+    """Replace characters BLIF tools reject; keep names unique."""
+    mapping: dict[str, str] = {}
+    used: set[str] = set()
+
+    def legal(name: str) -> str:
+        if name in mapping:
+            return mapping[name]
+        base = _NAME_RE.sub("_", name)
+        cand = base
+        k = 0
+        while cand in used:
+            k += 1
+            cand = f"{base}_{k}"
+        mapping[name] = cand
+        used.add(cand)
+        return cand
+
+    out = StructuralNetlist(legal(net.name))
+    for p in net.ports:
+        out.add_port(legal(p.name), p.direction)
+    for inst in net.instances:
+        out.add_instance(legal(inst.name), inst.gate,
+                         {pin: legal(n) for pin, n in inst.pins.items()})
+    return out
+
+
+def druid(net: StructuralNetlist) -> StructuralNetlist:
+    """The full DRUID pass: sweep, legalise, validate."""
+    out = legalize_names(sweep_buffers(net))
+    out.validate()
+    return out

@@ -1,0 +1,56 @@
+"""E2FMT: EDIF (structural) to BLIF (logic network) conversion.
+
+Each library gate becomes a ``.names`` node carrying the gate's SOP
+cover; DFFs become ``.latch`` lines.  The result is the generic BLIF
+that the SIS-role optimiser consumes.
+"""
+
+from __future__ import annotations
+
+from ..netlist.logic import LogicNetwork
+from ..netlist.structural import StructuralNetlist
+
+__all__ = ["structural_to_logic", "e2fmt"]
+
+
+def structural_to_logic(net: StructuralNetlist) -> LogicNetwork:
+    """Lower a structural gate netlist to a :class:`LogicNetwork`."""
+    out = LogicNetwork(net.name)
+    for p in net.ports:
+        if p.direction == "input":
+            out.add_input(p.name)
+        else:
+            out.add_output(p.name)
+
+    clocks: set[str] = set()
+    for inst in net.instances:
+        gt = inst.gate_type()
+        if gt.sequential:
+            clocks.add(inst.pins["CLK"])
+
+    for inst in net.instances:
+        gt = inst.gate_type()
+        if gt.sequential:
+            out.add_latch(inst.pins["D"], inst.pins["Q"],
+                          ltype="re", control=inst.pins["CLK"], init=0)
+            if inst.gate == "DFFR":
+                raise ValueError(
+                    "DFFR must be lowered to DFF + reset mux before "
+                    "E2FMT (DIVINER emits sync-reset muxes already)")
+            continue
+        fanins = [inst.pins[p] for p in gt.inputs]
+        out.add_node(inst.pins[gt.output], fanins, list(gt.cover))
+
+    # Clock nets must not appear as logic inputs; record them.
+    for clk in clocks:
+        if clk in out.inputs:
+            out.inputs.remove(clk)
+        if clk not in out.clocks:
+            out.clocks.append(clk)
+    out.validate()
+    return out
+
+
+def e2fmt(net: StructuralNetlist) -> LogicNetwork:
+    """Alias matching the paper's tool name."""
+    return structural_to_logic(net)

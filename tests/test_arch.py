@@ -1,0 +1,144 @@
+"""Tests for architecture parameters, DUTYS files, fabric, RR graph."""
+
+import pytest
+
+from repro.arch import (ArchParams, DEFAULT_ARCH, FabricGrid, Site,
+                        build_rr_graph, eq1_inputs, generate_arch_file,
+                        parse_arch_file)
+
+
+class TestParams:
+    def test_eq1(self):
+        # I = (K/2)(N+1): the paper's provisioning formula.
+        assert eq1_inputs(4, 5) == 12
+        assert eq1_inputs(4, 7) == 16
+        assert eq1_inputs(6, 5) == 18
+
+    def test_default_matches_paper_selection(self):
+        a = DEFAULT_ARCH
+        assert (a.n, a.k, a.inputs_per_clb) == (5, 4, 12)
+        assert a.clb_outputs == 5
+        assert a.fs == 3
+        assert a.switch_width_mult == 10.0
+        assert a.metal_spacing_mult == 2.0   # min width, double spacing
+
+    def test_explicit_i_override(self):
+        a = ArchParams(i=9)
+        assert a.inputs_per_clb == 9
+
+    def test_grid_sizing(self):
+        a = DEFAULT_ARCH
+        assert a.grid_size_for(9, 4) == 3
+        assert a.grid_size_for(1, 100) >= 13
+
+
+class TestDutys:
+    def test_roundtrip(self):
+        a = ArchParams(n=6, k=5, channel_width=20,
+                       switch_width_mult=16.0)
+        a2 = parse_arch_file(generate_arch_file(a))
+        assert a2.n == 6 and a2.k == 5
+        assert a2.channel_width == 20
+        assert a2.switch_width_mult == 16.0
+        assert a2.inputs_per_clb == a.inputs_per_clb
+
+    def test_unknown_keywords_tolerated(self):
+        text = generate_arch_file(DEFAULT_ARCH) + "\nfuture_keyword 3\n"
+        parse_arch_file(text)   # must not raise
+
+    def test_comments_ignored(self):
+        text = "# hi\nsubblocks_per_clb 7 # cluster\n"
+        assert parse_arch_file(text).n == 7
+
+
+class TestFabric:
+    def test_site_counts(self):
+        g = FabricGrid(DEFAULT_ARCH, 4)
+        assert len(g.clb_sites()) == 16
+        # Perimeter: 4 sides x 4 positions x io_rat.
+        assert len(g.io_sites()) == 4 * 4 * DEFAULT_ARCH.io_rat
+
+    def test_channel_counts(self):
+        g = FabricGrid(DEFAULT_ARCH, 3)
+        assert len(g.chanx_positions()) == 3 * 4
+        assert len(g.chany_positions()) == 4 * 3
+
+    def test_io_channel_mapping(self):
+        g = FabricGrid(DEFAULT_ARCH, 3)
+        assert g.io_channel(Site("io", 2, 0)) == ("chanx", 2, 0)
+        assert g.io_channel(Site("io", 0, 1)) == ("chany", 0, 1)
+        assert g.io_channel(Site("io", 2, 4)) == ("chanx", 2, 3)
+        with pytest.raises(ValueError):
+            g.io_channel(Site("io", 2, 2))
+
+    def test_clb_channels(self):
+        g = FabricGrid(DEFAULT_ARCH, 3)
+        chans = g.clb_channels(2, 2)
+        assert ("chanx", 2, 1) in chans and ("chany", 2, 2) in chans
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            FabricGrid(DEFAULT_ARCH, 0)
+
+
+class TestRRGraph:
+    @pytest.fixture(scope="class")
+    def g(self):
+        return build_rr_graph(DEFAULT_ARCH, 3)
+
+    def test_node_counts(self, g):
+        stats = g.stats()
+        w = DEFAULT_ARCH.channel_width
+        assert stats["CHANX"] == 3 * 4 * w
+        assert stats["CHANY"] == 4 * 3 * w
+        # One source+sink per CLB and per IO pad.
+        n_blocks = 9 + 4 * 3 * DEFAULT_ARCH.io_rat
+        assert stats["SOURCE"] == n_blocks
+        assert stats["SINK"] == n_blocks
+
+    def test_disjoint_switchbox_preserves_track(self, g):
+        # Every CHAN->CHAN edge must connect equal track indices.
+        for node in g.track_nodes():
+            for e in node.edges:
+                other = g.nodes[e]
+                if other.kind in ("CHANX", "CHANY"):
+                    assert other.ptc == node.ptc
+
+    def test_fs_is_3(self, g):
+        # An interior wire end meets exactly 3 others at a switch box.
+        # Count CHAN neighbours of an interior chanx node: two ends x 3.
+        node = g.nodes[g.chan_node("chanx", 2, 1, 0)]
+        chan_neigh = [e for e in node.edges
+                      if g.nodes[e].kind in ("CHANX", "CHANY")]
+        assert len(chan_neigh) == 6
+
+    def test_fc_full_connectivity(self, g):
+        # Fc = 1.0: every IPIN is fed by all W tracks of its channel.
+        w = DEFAULT_ARCH.channel_width
+        ipins = [n for n in g.nodes if n.kind == "IPIN"
+                 and (n.x, n.y) == (2, 2)]
+        incoming = {i.idx: 0 for i in ipins}
+        for node in g.track_nodes():
+            for e in node.edges:
+                if e in incoming:
+                    incoming[e] += 1
+        assert all(cnt == w for cnt in incoming.values())
+
+    def test_pins_reach_sink(self, g):
+        for node in g.nodes:
+            if node.kind == "IPIN":
+                assert any(g.nodes[e].kind == "SINK"
+                           for e in node.edges)
+
+    def test_rc_annotation(self, g):
+        for node in g.track_nodes():
+            assert node.r_ohm > 0 and node.c_f > 0
+        assert g.switch_r > 0 and g.switch_c > 0
+
+    def test_wider_switch_lowers_resistance(self):
+        from dataclasses import replace
+        g10 = build_rr_graph(DEFAULT_ARCH, 2)
+        g64 = build_rr_graph(replace(DEFAULT_ARCH,
+                                     switch_width_mult=64.0), 2)
+        assert g64.switch_r < g10.switch_r
+        assert g64.switch_c > g10.switch_c

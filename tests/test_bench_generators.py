@@ -1,0 +1,136 @@
+"""Tests for the synthetic benchmark circuit generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import (alu_slice, counter, crc8, gray_counter, lfsr,
+                         mcnc_class_suite, parity_tree, random_logic,
+                         shift_register)
+
+
+class TestCounter:
+    def test_counts(self):
+        net = counter(4)
+        out = net.simulate([{"en": 1}] * 10)
+        vals = [sum(o[f"out{i}"] << i for i in range(4)) for o in out]
+        assert vals == [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+
+    def test_enable_freezes(self):
+        net = counter(4)
+        out = net.simulate([{"en": 1}] * 3 + [{"en": 0}] * 3)
+        vals = [sum(o[f"out{i}"] << i for i in range(4)) for o in out]
+        assert vals == [0, 1, 2, 3, 3, 3]
+
+    def test_wraps(self):
+        net = counter(2)
+        out = net.simulate([{"en": 1}] * 6)
+        vals = [sum(o[f"out{i}"] << i for i in range(2)) for o in out]
+        assert vals == [0, 1, 2, 3, 0, 1]
+
+
+class TestShiftRegister:
+    def test_latency(self):
+        net = shift_register(5)
+        vecs = [{"sin": 1}] + [{"sin": 0}] * 7
+        out = net.simulate(vecs)
+        sout = [o["sout"] for o in out]
+        # The 1 appears at the output after 5 cycles.
+        assert sout == [0, 0, 0, 0, 0, 1, 0, 0]
+
+
+class TestLfsr:
+    def test_nonzero_cycle(self):
+        net = lfsr(6, (0, 4))
+        # Seed with a single 1, then free-run.
+        vecs = [{"seed_in": 1}] + [{"seed_in": 0}] * 40
+        out = net.simulate(vecs)
+        states = [tuple(o[f"out{i}"] for i in range(6)) for o in out]
+        assert any(any(s) for s in states[2:])  # it runs
+        assert len(set(states[2:])) > 5          # and changes state
+
+    def test_bad_tap(self):
+        with pytest.raises(ValueError):
+            lfsr(4, (0, 9))
+
+
+class TestCrc8:
+    def test_differs_on_input_streams(self):
+        net = crc8()
+        # One flush cycle so the final datum reaches the register file
+        # (outputs are sampled before the latch update).
+        a = net.simulate([{"din": b}
+                          for b in (1, 0, 1, 1, 0, 0, 1, 0, 0)])
+        b = net.simulate([{"din": b}
+                          for b in (1, 0, 1, 1, 0, 0, 1, 1, 0)])
+        assert a[-1] != b[-1]
+
+
+class TestAlu:
+    @pytest.mark.parametrize("op1,op0,fn", [
+        (0, 0, lambda a, b: (a + b) & 0xF),
+        (0, 1, lambda a, b: a & b),
+        (1, 0, lambda a, b: a | b),
+        (1, 1, lambda a, b: a ^ b),
+    ])
+    def test_ops(self, op1, op0, fn):
+        net = alu_slice(4)
+        for a, b in [(3, 5), (9, 12), (15, 1), (0, 0)]:
+            vec = {"op0": op0, "op1": op1}
+            vec.update({f"a{i}": (a >> i) & 1 for i in range(4)})
+            vec.update({f"b{i}": (b >> i) & 1 for i in range(4)})
+            out = net.simulate([vec])[0]
+            got = sum(out[f"y{i}"] << i for i in range(4))
+            assert got == fn(a, b), (op1, op0, a, b)
+
+    def test_carry_out(self):
+        net = alu_slice(4)
+        vec = {"op0": 0, "op1": 0}
+        vec.update({f"a{i}": 1 for i in range(4)})
+        vec.update({f"b{i}": (1 if i == 0 else 0) for i in range(4)})
+        assert net.simulate([vec])[0]["cout"] == 1
+
+
+class TestParityAndGray:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2 ** 16 - 1))
+    def test_parity(self, x):
+        net = parity_tree(16)
+        vec = {f"i{k}": (x >> k) & 1 for k in range(16)}
+        assert net.simulate([vec])[0]["parity"] == bin(x).count("1") % 2
+
+    def test_gray_single_bit_changes(self):
+        net = gray_counter(4)
+        out = net.simulate([{"en": 1}] * 12)
+        codes = [tuple(o[f"out{i}"] for i in range(4)) for o in out]
+        for a, b in zip(codes, codes[1:]):
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+
+class TestRandomLogic:
+    def test_deterministic(self):
+        a = random_logic("r", seed=5)
+        b = random_logic("r", seed=5)
+        vecs = [{f"pi{i}": (v >> i) & 1 for i in range(10)}
+                for v in range(16)]
+        assert a.simulate(vecs) == b.simulate(vecs)
+
+    def test_seeds_differ(self):
+        a = random_logic("r", seed=5)
+        b = random_logic("r", seed=6)
+        vecs = [{f"pi{i}": (v >> i) & 1 for i in range(10)}
+                for v in range(32)]
+        assert a.simulate(vecs) != b.simulate(vecs)
+
+    def test_registered_variant_has_latches(self):
+        net = random_logic("r", seed=1, registered=True)
+        assert net.latches
+
+
+class TestSuite:
+    def test_all_validate(self):
+        for net in mcnc_class_suite():
+            net.validate()
+
+    def test_names_unique(self):
+        names = [n.name for n in mcnc_class_suite()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,144 @@
+"""Tests for the DAGGER bitstream (generate / pack / unpack / verify)."""
+
+import pytest
+
+from repro.arch import DEFAULT_ARCH, build_rr_graph
+from repro.bench import counter, random_logic
+from repro.bitgen import (BitstreamError, generate_bitstream,
+                          generate_config, pack_bitstream,
+                          unpack_bitstream)
+from repro.bitgen.bitstream import XBAR_UNUSED
+from repro.pack import pack_netlist
+from repro.place import place
+from repro.route import route
+from repro.synth import optimize_and_map
+
+
+@pytest.fixture(scope="module")
+def flow():
+    mapped = optimize_and_map(counter(8), 4).network
+    cn = pack_netlist(mapped)
+    pl = place(cn, DEFAULT_ARCH, seed=4)
+    g = build_rr_graph(DEFAULT_ARCH, pl.grid_size)
+    rr = route(pl, g)
+    assert rr.success
+    return mapped, cn, pl, rr, g
+
+
+class TestConfigGeneration:
+    def test_luts_configured_for_each_ble(self, flow):
+        mapped, cn, pl, rr, g = flow
+        cfg = generate_config(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        for c in cn.clusters:
+            site = pl.loc[c.name]
+            clb = cfg.clbs[(site.x, site.y)]
+            for j, b in enumerate(c.bles):
+                if b.lut is not None:
+                    assert any(clb.lut_bits[j]) or \
+                        not mapped.nodes[b.lut].cover
+                assert clb.use_ff[j] == (1 if b.registered else 0)
+
+    def test_lut_truth_bits_match_node(self, flow):
+        mapped, cn, pl, rr, g = flow
+        cfg = generate_config(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        for c in cn.clusters:
+            site = pl.loc[c.name]
+            clb = cfg.clbs[(site.x, site.y)]
+            for j, b in enumerate(c.bles):
+                if b.lut is None:
+                    continue
+                node = mapped.nodes[b.lut]
+                tt = node.truth_table()
+                n_in = len(node.fanins)
+                for m in range(1 << n_in):
+                    assert clb.lut_bits[j][m] == (tt >> m) & 1
+
+    def test_xbar_selects_valid(self, flow):
+        mapped, cn, pl, rr, g = flow
+        cfg = generate_config(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        hi = DEFAULT_ARCH.inputs_per_clb + DEFAULT_ARCH.n
+        for clb in cfg.clbs.values():
+            for sels in clb.xbar_sel:
+                for s in sels:
+                    assert s == XBAR_UNUSED or 0 <= s < hi
+
+    def test_xbar_matches_routed_pins(self, flow):
+        # Every external BLE input's select must point at a pin whose
+        # connection box actually has a track enabled.
+        mapped, cn, pl, rr, g = flow
+        cfg = generate_config(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        i_clb = DEFAULT_ARCH.inputs_per_clb
+        for c in cn.clusters:
+            site = pl.loc[c.name]
+            clb = cfg.clbs[(site.x, site.y)]
+            internal = c.internal_outputs()
+            for j, b in enumerate(c.bles):
+                for pin, inp in enumerate(b.inputs):
+                    sel = clb.xbar_sel[j][pin]
+                    if inp in internal:
+                        assert sel >= i_clb
+                    else:
+                        assert sel < i_clb
+                        assert any(clb.cb_in[sel]), \
+                            f"net {inp} pin {sel} has no CB bit"
+
+    def test_sb_bits_match_tree_edges(self, flow):
+        mapped, cn, pl, rr, g = flow
+        cfg = generate_config(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        n_chan_edges = 0
+        for tree in rr.trees.values():
+            for node, parent in tree.parents.items():
+                if parent >= 0 and \
+                        g.nodes[node].kind in ("CHANX", "CHANY") and \
+                        g.nodes[parent].kind in ("CHANX", "CHANY"):
+                    n_chan_edges += 1
+        n_bits = sum(bit for sb in cfg.sbs.values()
+                     for row in sb.pair_bits for bit in row)
+        # Some edges may share a switch (same pair reused by net
+        # fanout), so bits <= edges.
+        assert 0 < n_bits <= n_chan_edges
+
+    def test_io_modes(self, flow):
+        mapped, cn, pl, rr, g = flow
+        cfg = generate_config(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        modes = [io.mode for io in cfg.ios.values()]
+        assert modes.count(1) == len(cn.inputs)
+        assert modes.count(2) == len(cn.outputs)
+
+
+class TestPackUnpack:
+    def test_roundtrip_equality(self, flow):
+        mapped, cn, pl, rr, g = flow
+        cfg = generate_config(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        data = pack_bitstream(cfg)
+        back = unpack_bitstream(data, DEFAULT_ARCH)
+        assert back.clbs == cfg.clbs
+        assert back.sbs == cfg.sbs
+        assert back.ios == cfg.ios
+
+    def test_crc_detects_corruption(self, flow):
+        mapped, cn, pl, rr, g = flow
+        data = bytearray(generate_bitstream(mapped, cn, pl, rr, g,
+                                            DEFAULT_ARCH))
+        data[20] ^= 0x40
+        with pytest.raises(BitstreamError):
+            unpack_bitstream(bytes(data))
+
+    def test_magic_check(self):
+        with pytest.raises(BitstreamError):
+            unpack_bitstream(b"JUNKJUNKJUNKJUNKJUNK")
+
+    def test_header_carries_arch(self, flow):
+        mapped, cn, pl, rr, g = flow
+        data = generate_bitstream(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        cfg = unpack_bitstream(data)
+        assert cfg.arch.n == DEFAULT_ARCH.n
+        assert cfg.arch.k == DEFAULT_ARCH.k
+        assert cfg.arch.channel_width == DEFAULT_ARCH.channel_width
+
+    def test_bit_count_reported(self, flow):
+        mapped, cn, pl, rr, g = flow
+        data = generate_bitstream(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        cfg = unpack_bitstream(data)
+        # Stream length must be at least bits/8.
+        assert len(data) * 8 >= cfg.config_bit_count()

@@ -1,0 +1,81 @@
+"""Tests for the gated-clock experiments (Tables 2 and 3)."""
+
+import pytest
+
+from repro.circuit.clockgate import build_ble_clock, build_clb_clock
+from repro.circuit.experiments import (gated_clock_breakeven, run_table2,
+                                       run_table3)
+from repro.circuit.simulator import simulate
+
+DT = 2e-12
+
+
+class TestCircuitConstruction:
+    def test_ble_gated_requires_enable(self):
+        with pytest.raises(ValueError):
+            build_ble_clock(gated=True, enable=None)
+
+    def test_clb_n_on_range(self):
+        with pytest.raises(ValueError):
+            build_clb_clock(gated=False, n_on=6)
+
+    def test_single_vs_gated_device_counts(self):
+        single = build_ble_clock(gated=False)
+        gated = build_ble_clock(gated=True, enable=1)
+        # The NAND replaces the final inverter: two extra transistors.
+        assert (len(gated.circuit.mosfets)
+                == len(single.circuit.mosfets) + 2)
+
+    def test_gated_ff_clock_stays_high_when_disabled(self):
+        setup = build_ble_clock(gated=True, enable=0, data_active=False)
+        res = simulate(setup.circuit, setup.t_sim, dt=DT)
+        ffclk = res.v("ffclk")
+        # NAND output parked at 1 while the clock upstream toggles.
+        assert ffclk[len(ffclk) // 2:].min() > 1.5
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def t2(self):
+        return run_table2(dt=DT)
+
+    def test_enable0_saves_majority_of_energy(self, t2):
+        # Paper: ~77 % saving; our calibration lands > 55 %.
+        assert t2["saving_en0_pct"] > 55.0
+
+    def test_enable1_overhead_is_small(self, t2):
+        # Paper: +6.2 %.  Ours must stay below ~15 % either way.
+        assert abs(t2["overhead_en1_pct"]) < 15.0
+
+    def test_single_clock_energy_scale(self, t2):
+        # Paper: 40.76 fJ per cycle.
+        assert 20 < t2["single_fJ"] < 120
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def t3(self):
+        return run_table3(dt=DT)
+
+    def _row(self, t3, cond):
+        return next(r for r in t3 if r["condition"] == cond)
+
+    def test_gating_saves_when_all_off(self, t3):
+        row = self._row(t3, "all_off")
+        # Paper: -83 %; ours lands deep negative.
+        assert row["delta_pct"] < -55.0
+
+    def test_gating_costs_when_active(self, t3):
+        for cond in ("one_on", "all_on"):
+            assert self._row(t3, cond)["delta_pct"] > 0.0
+
+    def test_energy_monotone_in_active_ffs(self, t3):
+        e = [self._row(t3, c)["single_fJ"]
+             for c in ("all_off", "one_on", "all_on")]
+        assert e[0] < e[1] < e[2]
+
+    def test_breakeven_probability(self, t3):
+        p = gated_clock_breakeven(t3)
+        # Gating must pay off for plausible idle probabilities
+        # (paper's criterion: worthwhile when P(all off) > ~1/3).
+        assert 0.0 < p < 0.5

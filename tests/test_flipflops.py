@@ -1,0 +1,102 @@
+"""Tests for the DETFF variants (functional + Table 1 properties)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.flipflops import DETFF_VARIANTS, dff_setff
+from repro.circuit.metrics import crossing_times
+from repro.circuit.network import Circuit
+from repro.circuit.simulator import simulate
+from repro.circuit.waveforms import clock, fig4_stimulus, pulse_train
+
+VDD = 1.8
+
+
+def _run_ff(builder, clkw, dataw, t_end, dt=2e-12):
+    ckt = Circuit()
+    d, clk, q = ckt.node("d"), ckt.node("clk"), ckt.node("q")
+    builder(ckt, d, clk, q, "ff")
+    ckt.capacitor(q, 1.5e-15)
+    ckt.voltage_source(clk, clkw)
+    ckt.voltage_source(d, dataw)
+    return simulate(ckt, t_end, dt=dt)
+
+
+def _check_capture(res, *, edges="both"):
+    """Q must equal D-at-edge shortly after each clock edge."""
+    t, vq, vd, vc = res.time, res.v("q"), res.v("d"), res.v("clk")
+    th = VDD / 2
+    for te in crossing_times(t, vc, th, edges):
+        i0 = np.searchsorted(t, te - 20e-12)
+        i1 = min(np.searchsorted(t, te + 800e-12), len(t) - 1)
+        assert (vd[i0] > th) == (vq[i1] > th), \
+            f"capture failed at t={te * 1e9:.2f} ns"
+
+
+@pytest.mark.parametrize("name", list(DETFF_VARIANTS))
+class TestDetffFunction:
+    def test_captures_on_both_edges(self, name):
+        clkw, dataw, t_end = fig4_stimulus(VDD)
+        res = _run_ff(DETFF_VARIANTS[name], clkw, dataw, t_end)
+        _check_capture(res, edges="both")
+
+    def test_holds_value_when_data_idle(self, name):
+        # Constant data: Q must settle to it and stay there.
+        clkw = clock(2e-9, 4, VDD, t_start=0.5e-9)
+        dataw = pulse_train([(0.1e-9, VDD)])
+        res = _run_ff(DETFF_VARIANTS[name], clkw, dataw, 8.5e-9)
+        t, vq = res.time, res.v("q")
+        late = vq[np.searchsorted(t, 2.0e-9):]
+        assert late.min() > 0.8 * VDD
+
+
+class TestSingleEdgeReference:
+    def test_setff_captures_on_rising_only(self):
+        clkw = clock(2e-9, 4, VDD, t_start=0.5e-9)
+        # Data high before the first rising edge, low before the first
+        # falling edge: Q should follow only rising-edge values.
+        dataw = pulse_train([(0.1e-9, VDD), (1.2e-9, 0.0),
+                             (2.2e-9, VDD), (3.2e-9, 0.0)])
+        res = _run_ff(dff_setff, clkw, dataw, 8.5e-9)
+        _check_capture(res, edges="rise")
+
+
+class TestTable1Orderings:
+    """The paper's published conclusions about the candidates."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        from repro.circuit.experiments import run_table1
+        return {row["name"]: row for row in run_table1(dt=2e-12)}
+
+    def test_all_functional(self, table):
+        assert all(row["functional"] for row in table.values())
+
+    def test_llopis1_lowest_energy(self, table):
+        e_min = min(row["energy_fJ"] for row in table.values())
+        assert table["llopis1"]["energy_fJ"] == e_min
+
+    def test_llopis1_cheaper_than_llopis2(self, table):
+        assert (table["llopis1"]["energy_fJ"]
+                < table["llopis2"]["energy_fJ"])
+
+    def test_chung_family_faster_than_llopis_family(self, table):
+        # TG muxed Llopis outputs are slower than the Chung TG-mux ones.
+        chung_d = min(table["chung1"]["delay_ps"],
+                      table["chung2"]["delay_ps"])
+        llopis_d = min(table["llopis1"]["delay_ps"],
+                       table["llopis2"]["delay_ps"])
+        assert chung_d < llopis_d
+
+    def test_energy_scale_is_hundreds_of_fJ(self, table):
+        for row in table.values():
+            assert 50 < row["energy_fJ"] < 2000
+
+    def test_delay_scale_is_tens_to_hundreds_of_ps(self, table):
+        for row in table.values():
+            assert 20 < row["delay_ps"] < 600
+
+    def test_edp_consistency(self, table):
+        for row in table.values():
+            assert row["edp_fJ_ps"] == pytest.approx(
+                row["energy_fJ"] * row["delay_ps"], rel=1e-6)

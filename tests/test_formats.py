@@ -1,0 +1,185 @@
+"""Tests for BLIF / EDIF / .net serialisation round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.blif import BlifError, parse_blif, write_blif
+from repro.netlist.edif import (EdifError, parse_edif, parse_sexp,
+                                write_edif)
+from repro.netlist.logic import LogicNetwork
+from repro.netlist.structural import StructuralNetlist
+from repro.bench import counter, mcnc_class_suite
+from repro.pack import pack_netlist, parse_net, write_net
+from repro.synth import optimize_and_map
+
+
+class TestBlif:
+    BASIC = """
+.model m
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.end
+"""
+
+    def test_parse_basic(self):
+        net = parse_blif(self.BASIC)
+        assert net.name == "m"
+        assert net.nodes["f"].cover == ["11"]
+
+    def test_comments_and_continuations(self):
+        text = (".model m  # title\n.inputs a \\\n b\n.outputs f\n"
+                ".names a b f  # and\n11 1\n.end\n")
+        net = parse_blif(text)
+        assert net.inputs == ["a", "b"]
+
+    def test_latch_forms(self):
+        text = (".model m\n.inputs a\n.outputs q\n"
+                ".latch a q re clk 0\n.end\n")
+        net = parse_blif(text)
+        assert net.latches[0].control == "clk"
+        text2 = ".model m\n.inputs a\n.outputs q\n.latch a q\n.end\n"
+        assert parse_blif(text2).latches[0].init == 2
+
+    def test_constant_nodes(self):
+        text = (".model m\n.outputs k\n.names k\n1\n.end\n")
+        net = parse_blif(text)
+        assert net.nodes["k"].is_constant() == 1
+
+    def test_rejects_offset_cover(self):
+        text = ".model m\n.inputs a\n.outputs f\n.names a f\n1 0\n.end\n"
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_rejects_unknown_directive(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.gate x\n.end\n")
+
+    def test_rejects_cover_outside_names(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n11 1\n.end\n")
+
+    def test_roundtrip_preserves_semantics(self):
+        net = counter(5)
+        net2 = parse_blif(write_blif(net))
+        vecs = [{"en": 1}] * 10
+        assert net.simulate(vecs) == net2.simulate(vecs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 8))
+    def test_roundtrip_counters(self, width):
+        net = counter(width)
+        net2 = parse_blif(write_blif(net))
+        assert net2.stats() == net.stats()
+
+
+class TestSexp:
+    def test_nested(self):
+        assert parse_sexp("(a (b c) d)") == ["a", ["b", "c"], "d"]
+
+    def test_strings(self):
+        assert parse_sexp('(a "hello world")') == ["a", '"hello world"']
+
+    def test_unbalanced(self):
+        with pytest.raises(EdifError):
+            parse_sexp("(a (b)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(EdifError):
+            parse_sexp("(a) b")
+
+    def test_empty(self):
+        with pytest.raises(EdifError):
+            parse_sexp("   ")
+
+
+class TestEdif:
+    def _netlist(self):
+        s = StructuralNetlist("top")
+        s.add_port("a", "input")
+        s.add_port("b", "input")
+        s.add_port("q", "output")
+        s.add_instance("u1", "XOR2", {"A": "a", "B": "b", "Y": "n1"})
+        s.add_instance("u2", "DFF", {"D": "n1", "CLK": "a", "Q": "q"})
+        return s
+
+    def test_roundtrip(self):
+        s = self._netlist()
+        s2 = parse_edif(write_edif(s))
+        assert s2.stats() == s.stats()
+        s2.validate()
+
+    def test_pin_connectivity_preserved(self):
+        s2 = parse_edif(write_edif(self._netlist()))
+        xor = next(i for i in s2.instances if i.gate == "XOR2")
+        dff = next(i for i in s2.instances if i.gate == "DFF")
+        assert xor.pins["Y"] == dff.pins["D"]
+
+    def test_not_edif(self):
+        with pytest.raises(EdifError):
+            parse_edif("(notedif)")
+
+    def test_unknown_gate_rejected(self):
+        text = write_edif(self._netlist()).replace("XOR2", "WEIRD9")
+        with pytest.raises(EdifError):
+            parse_edif(text)
+
+
+class TestStructural:
+    def test_double_driver_detected(self):
+        s = StructuralNetlist("t")
+        s.add_port("a", "input")
+        s.add_instance("u1", "INV", {"A": "a", "Y": "y"})
+        s.add_instance("u2", "INV", {"A": "a", "Y": "y"})
+        with pytest.raises(ValueError):
+            s.drivers()
+
+    def test_pin_mismatch_rejected(self):
+        s = StructuralNetlist("t")
+        with pytest.raises(ValueError):
+            s.add_instance("u1", "AND2", {"A": "a", "Y": "y"})
+
+    def test_unknown_gate(self):
+        s = StructuralNetlist("t")
+        with pytest.raises(ValueError):
+            s.add_instance("u1", "FOO", {"A": "a", "Y": "y"})
+
+    def test_duplicate_port(self):
+        s = StructuralNetlist("t")
+        s.add_port("a", "input")
+        with pytest.raises(ValueError):
+            s.add_port("a", "output")
+
+    def test_bad_direction(self):
+        s = StructuralNetlist("t")
+        with pytest.raises(ValueError):
+            s.add_port("a", "inout")
+
+
+class TestNetFormat:
+    def _packed(self):
+        mapped = optimize_and_map(counter(6), 4).network
+        return pack_netlist(mapped)
+
+    def test_roundtrip_structure(self):
+        cn = self._packed()
+        cn2 = parse_net(write_net(cn))
+        assert len(cn2.clusters) == len(cn.clusters)
+        assert cn2.ble_count() == cn.ble_count()
+        assert cn2.inputs == cn.inputs
+        assert cn2.outputs == cn.outputs
+
+    def test_roundtrip_connectivity(self):
+        cn = self._packed()
+        cn2 = parse_net(write_net(cn))
+        for c, c2 in zip(cn.clusters, cn2.clusters):
+            for b, b2 in zip(c.bles, c2.bles):
+                assert b2.output == b.output
+                assert set(b2.inputs) == set(b.inputs)
+
+    def test_io_blocks_listed(self):
+        text = write_net(self._packed())
+        assert ".input en" in text
+        assert ".output out:" in text
+        assert ".global clk" in text

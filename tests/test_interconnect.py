@@ -1,0 +1,104 @@
+"""Tests for the routing-switch sizing experiments (Figs. 8-10)."""
+
+import pytest
+
+from repro.circuit.interconnect import (build_routing_experiment,
+                                        measure_routing, optimum_width,
+                                        sweep_pass_transistor)
+
+DT = 4e-12
+WIDTHS = [2.0, 10.0, 64.0]
+
+
+class TestConstruction:
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            build_routing_experiment(width_mult=1, wire_length=0)
+        with pytest.raises(ValueError):
+            build_routing_experiment(width_mult=1, wire_length=1,
+                                     n_segments=0)
+        with pytest.raises(ValueError):
+            build_routing_experiment(width_mult=1, wire_length=1,
+                                     switch_type="magic")
+
+    def test_area_grows_with_switch_width(self):
+        _, _, _, a1 = build_routing_experiment(width_mult=1,
+                                               wire_length=2)
+        _, _, _, a64 = build_routing_experiment(width_mult=64,
+                                                wire_length=2)
+        assert a64 > a1
+
+    def test_area_grows_with_wire_length(self):
+        _, _, _, a1 = build_routing_experiment(width_mult=10,
+                                               wire_length=1)
+        _, _, _, a8 = build_routing_experiment(width_mult=10,
+                                               wire_length=8)
+        assert a8 > a1
+
+    def test_tbuf_variant_builds(self):
+        ckt, _, _, _ = build_routing_experiment(width_mult=4,
+                                                wire_length=1,
+                                                switch_type="tbuf")
+        assert len(ckt.mosfets) > 10
+
+
+class TestMeasurements:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return {w: measure_routing(width_mult=w, wire_length=2, dt=DT)
+                for w in WIDTHS}
+
+    def test_signal_arrives(self, points):
+        for m in points.values():
+            assert 10e-12 < m.delay < 20e-9
+
+    def test_delay_decreases_with_width_initially(self, points):
+        assert points[10.0].delay < points[2.0].delay
+
+    def test_energy_increases_with_width(self, points):
+        assert points[64.0].energy > points[2.0].energy
+
+    def test_eda_convex_fig8_shape(self, points):
+        # Mid width beats both extremes (the Fig. 8 bathtub).
+        assert points[10.0].eda < points[2.0].eda
+        assert points[10.0].eda < points[64.0].eda
+
+    def test_double_spacing_lowers_energy(self):
+        m_min = measure_routing(width_mult=10, wire_length=2,
+                                metal_spacing=1.0, dt=DT)
+        m_dbl = measure_routing(width_mult=10, wire_length=2,
+                                metal_spacing=2.0, dt=DT)
+        assert m_dbl.energy < m_min.energy
+
+    def test_longer_wire_costs_more(self):
+        m1 = measure_routing(width_mult=10, wire_length=1, dt=DT)
+        m4 = measure_routing(width_mult=10, wire_length=4, dt=DT)
+        assert m4.energy > m1.energy
+        assert m4.delay > m1.delay
+
+
+class TestSweep:
+    def test_sweep_structure(self):
+        out = sweep_pass_transistor([2.0, 10.0], [1, 2], dt=DT)
+        assert set(out) == {1, 2}
+        assert [m.width_mult for m in out[1]] == [2.0, 10.0]
+
+    def test_optimum_width_selection(self):
+        ms = [measure_routing(width_mult=w, wire_length=1, dt=DT)
+              for w in WIDTHS]
+        assert optimum_width(ms) in WIDTHS
+
+    def test_optimum_grows_with_wire_length(self):
+        # The headline Fig. 8 observation: longer wires want bigger
+        # switches (ties are possible at coarse width grids).
+        ws = [2.0, 4.0, 10.0, 32.0, 64.0]
+        short = [measure_routing(width_mult=w, wire_length=1, dt=DT)
+                 for w in ws]
+        long = [measure_routing(width_mult=w, wire_length=8, dt=DT)
+                for w in ws]
+        assert optimum_width(long) >= optimum_width(short)
+        # And the relative EDA penalty of a tiny switch is much worse
+        # on the long wire.
+        ratio_short = short[0].eda / min(m.eda for m in short)
+        ratio_long = long[0].eda / min(m.eda for m in long)
+        assert ratio_long > ratio_short

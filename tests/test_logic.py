@@ -1,0 +1,153 @@
+"""Tests for the logic-network container and cube algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.logic import Cube, Latch, LogicNetwork, LogicNode
+
+cube_st = st.text(alphabet="01-", min_size=3, max_size=3)
+minterm_st = st.text(alphabet="01", min_size=3, max_size=3)
+
+
+class TestCube:
+    def test_covers(self):
+        assert Cube.covers("1-0", "110")
+        assert not Cube.covers("1-0", "111")
+
+    @given(cube_st, minterm_st)
+    def test_intersection_consistent_with_covers(self, c, m):
+        inter = Cube.intersect(c, m)
+        if Cube.covers(c, m):
+            assert inter == m
+        elif inter is not None:
+            assert inter == m  # intersect with minterm is m or None
+
+    @given(cube_st, cube_st)
+    def test_contains_implies_zero_distance(self, a, b):
+        if Cube.contains(a, b):
+            assert Cube.distance(a, b) == 0
+
+    @given(cube_st)
+    def test_self_containment(self, c):
+        assert Cube.contains(c, c)
+        assert Cube.intersect(c, c) == c
+
+    def test_distance(self):
+        assert Cube.distance("10-", "01-") == 2
+        assert Cube.distance("1--", "-0-") == 0
+
+    def test_literal_count(self):
+        assert Cube.literal_count("1-0") == 2
+        assert Cube.literal_count("---") == 0
+
+
+class TestLogicNode:
+    def test_bad_cube_width(self):
+        with pytest.raises(ValueError):
+            LogicNode("n", ["a", "b"], ["1"])
+
+    def test_bad_cube_chars(self):
+        with pytest.raises(ValueError):
+            LogicNode("n", ["a"], ["x"])
+
+    def test_eval_or(self):
+        node = LogicNode("n", ["a", "b"], ["1-", "-1"])
+        assert node.eval({"a": 0, "b": 0}) == 0
+        assert node.eval({"a": 1, "b": 0}) == 1
+        assert node.eval({"a": 0, "b": 1}) == 1
+
+    def test_truth_table_and(self):
+        node = LogicNode("n", ["a", "b"], ["11"])
+        assert node.truth_table() == 0b1000
+
+    def test_constants(self):
+        assert LogicNode("z", [], []).is_constant() == 0
+        assert LogicNode("o", [], [""]).is_constant() == 1
+        assert LogicNode("t", ["a"], ["-"]).is_constant() == 1
+        assert LogicNode("n", ["a"], ["1"]).is_constant() is None
+
+
+class TestLatch:
+    def test_bad_type(self):
+        with pytest.raises(ValueError):
+            Latch("a", "b", ltype="xx")
+
+    def test_bad_init(self):
+        with pytest.raises(ValueError):
+            Latch("a", "b", init=7)
+
+
+class TestLogicNetwork:
+    def _xor_ff_net(self):
+        net = LogicNetwork("t")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("x", ["a", "b"], ["10", "01"])
+        net.add_latch("x", "q", control="clk")
+        net.add_node("y", ["q"], ["1"])
+        net.add_output("y")
+        return net
+
+    def test_duplicate_node_rejected(self):
+        net = LogicNetwork("t")
+        net.add_input("a")
+        net.add_node("n", ["a"], ["1"])
+        with pytest.raises(ValueError):
+            net.add_node("n", ["a"], ["0"])
+
+    def test_validate_undriven(self):
+        net = LogicNetwork("t")
+        net.add_node("n", ["ghost"], ["1"])
+        net.add_output("n")
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_validate_undriven_output(self):
+        net = LogicNetwork("t")
+        net.add_output("nothing")
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_cycle_detection(self):
+        net = LogicNetwork("t")
+        net.add_node("a", ["b"], ["1"])
+        net.add_node("b", ["a"], ["1"])
+        with pytest.raises(ValueError):
+            net.topo_order()
+
+    def test_latch_breaks_cycles(self):
+        net = LogicNetwork("t")
+        net.add_node("d", ["q"], ["0"])   # d = NOT q
+        net.add_latch("d", "q")
+        net.add_output("d")
+        net.validate()  # no combinational cycle
+
+    def test_topo_order_respects_dependencies(self):
+        net = self._xor_ff_net()
+        order = net.topo_order()
+        assert set(order) == {"x", "y"}
+
+    def test_simulate_toggle(self):
+        net = self._xor_ff_net()
+        vec = {"a": 1, "b": 0}
+        out = net.simulate([vec] * 3)
+        # q starts 0; x=1 always; q toggles to 1 after first cycle.
+        assert [o["y"] for o in out] == [0, 1, 1]
+
+    def test_fanout_map(self):
+        net = self._xor_ff_net()
+        fo = net.fanout_map()
+        assert fo["a"] == ["x"]
+        assert fo["q"] == ["y"]
+
+    def test_stats_and_copy(self):
+        net = self._xor_ff_net()
+        c = net.copy()
+        assert c.stats() == net.stats()
+        c.add_input("z")
+        assert c.stats() != net.stats()
+
+    def test_k_feasibility(self):
+        net = self._xor_ff_net()
+        assert net.is_k_feasible(2)
+        assert not net.is_k_feasible(1)

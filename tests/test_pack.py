@@ -1,0 +1,156 @@
+"""Tests for BLE formation and cluster packing (T-VPack role)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import counter, random_logic, shift_register
+from repro.netlist.logic import LogicNetwork
+from repro.pack import form_bles, pack_netlist
+from repro.pack.cluster import Cluster
+from repro.pack.ble import BLE
+from repro.synth import optimize_and_map
+
+
+def mapped(net, k=4):
+    return optimize_and_map(net, k).network
+
+
+class TestBleFormation:
+    def test_lut_ff_pairing(self):
+        # d0 feeds only latch q0 -> must be absorbed into one BLE.
+        net = mapped(counter(4))
+        bles = form_bles(net)
+        paired = [b for b in bles if b.lut and b.latch]
+        assert len(paired) >= 1
+        for b in paired:
+            assert b.output == b.latch.output
+
+    def test_no_pairing_when_lut_has_other_fanout(self):
+        net = LogicNetwork("t")
+        net.add_input("a")
+        net.add_node("f", ["a"], ["1"])
+        net.add_latch("f", "q", control="clk")
+        net.add_node("g", ["f"], ["0"])    # second reader of f
+        net.add_output("g")
+        net.add_output("q")
+        bles = form_bles(net)
+        by_name = {b.name: b for b in bles}
+        assert by_name["f"].latch is None
+        assert any(b.lut is None and b.latch is not None for b in bles)
+
+    def test_lone_latches_get_flowthrough_bles(self):
+        net = mapped(shift_register(8))
+        bles = form_bles(net)
+        lone = [b for b in bles if b.lut is None]
+        # Shift chain latches (except possibly the one paired with the
+        # output LUT) are lone.
+        assert len(lone) >= 7
+
+    def test_rejects_unmapped_network(self):
+        net = LogicNetwork("t")
+        for i in range(6):
+            net.add_input(f"i{i}")
+        net.add_node("f", [f"i{k}" for k in range(6)], ["111111"])
+        net.add_output("f")
+        with pytest.raises(ValueError):
+            form_bles(net, k=4)
+
+
+class TestCluster:
+    def _ble(self, name, inputs, output, clock=None):
+        return BLE(name=name, lut=name, latch=None, inputs=inputs,
+                   output=output, clock=clock)
+
+    def test_capacity_limit(self):
+        c = Cluster("c", n=2, i=10)
+        c.add(self._ble("b1", ["x"], "o1"))
+        c.add(self._ble("b2", ["y"], "o2"))
+        assert not c.can_add(self._ble("b3", ["z"], "o3"))
+
+    def test_input_budget(self):
+        c = Cluster("c", n=5, i=3)
+        c.add(self._ble("b1", ["a", "b", "c"], "o1"))
+        # Adding a BLE with 2 fresh inputs would exceed I=3.
+        assert not c.can_add(self._ble("b2", ["d", "e"], "o2"))
+        # But one whose inputs are already present is fine.
+        assert c.can_add(self._ble("b3", ["a", "b"], "o3"))
+
+    def test_internal_feedback_is_free(self):
+        c = Cluster("c", n=5, i=2)
+        c.add(self._ble("b1", ["a", "b"], "o1"))
+        # o1 is generated inside the cluster: costs no input.
+        assert c.can_add(self._ble("b2", ["o1", "a"], "o2"))
+
+    def test_single_clock_constraint(self):
+        c = Cluster("c", n=5, i=10)
+        c.add(self._ble("b1", ["a"], "o1", clock="clk1"))
+        assert not c.can_add(self._ble("b2", ["b"], "o2", clock="clk2"))
+        assert c.can_add(self._ble("b3", ["b"], "o3", clock="clk1"))
+
+    def test_add_infeasible_raises(self):
+        c = Cluster("c", n=1, i=1)
+        c.add(self._ble("b1", ["a"], "o1"))
+        with pytest.raises(ValueError):
+            c.add(self._ble("b2", ["b"], "o2"))
+
+    def test_attraction_counts_shared_nets(self):
+        c = Cluster("c", n=5, i=10)
+        c.add(self._ble("b1", ["a", "b"], "o1"))
+        assert c.attraction(self._ble("b2", ["a", "o1"], "o2")) == 2
+        assert c.attraction(self._ble("b3", ["z"], "o3")) == 0
+
+
+class TestPackNetlist:
+    def test_constraints_respected(self):
+        net = mapped(random_logic("r", n_pi=10, n_po=5, n_nodes=60,
+                                  seed=4))
+        cn = pack_netlist(net, n=5, i=12, k=4)
+        for c in cn.clusters:
+            assert len(c.bles) <= 5
+            assert len(c.external_inputs()) <= 12
+
+    def test_all_bles_packed_exactly_once(self):
+        net = mapped(counter(8))
+        bles = form_bles(net)
+        cn = pack_netlist(net)
+        packed = [b.name for c in cn.clusters for b in c.bles]
+        assert sorted(packed) == sorted(b.name for b in bles)
+
+    def test_nets_have_single_driver(self):
+        net = mapped(counter(8))
+        cn = pack_netlist(net)
+        nets = cn.nets()
+        for name, info in nets.items():
+            assert info["driver"]
+            assert info["sinks"]
+
+    def test_cluster_internal_nets_excluded(self):
+        net = mapped(counter(4))
+        cn = pack_netlist(net)
+        nets = cn.nets()
+        for c in cn.clusters:
+            internal = c.internal_outputs()
+            for netname, info in nets.items():
+                if netname in internal and info["driver"] == c.name:
+                    # Listed only because someone outside reads it.
+                    assert any(s != c.name for s in info["sinks"])
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 100))
+    def test_random_networks_pack_legally(self, seed):
+        net = mapped(random_logic("r", n_pi=8, n_po=4, n_nodes=30,
+                                  seed=seed))
+        cn = pack_netlist(net)
+        for c in cn.clusters:
+            assert len(c.bles) <= cn.n
+            assert len(c.external_inputs()) <= cn.i
+            clocks = {b.clock for b in c.bles if b.clock}
+            assert len(clocks) <= 1
+
+    def test_eq1_supports_high_utilization(self):
+        # With I from Eq. 1, utilisation of non-trailing clusters
+        # should be high for a well-connected circuit.
+        net = mapped(random_logic("r", n_pi=12, n_po=6, n_nodes=150,
+                                  seed=11))
+        cn = pack_netlist(net, n=5, i=12, k=4)
+        assert cn.utilization() > 0.6

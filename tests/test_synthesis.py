@@ -1,0 +1,190 @@
+"""Tests for sweep / espresso / decomposition / LUT mapping."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.logic import Cube, LogicNetwork
+from repro.synth import optimize_and_map
+from repro.synth.decompose import decompose_network
+from repro.synth.espresso import (minimize_cover, minimize_network,
+                                  prime_implicants)
+from repro.synth.mapper import map_to_luts
+from repro.synth.sweep import (collapse_buffers, propagate_constants,
+                               remove_dangling, sweep)
+from repro.bench import alu_slice, counter, parity_tree, random_logic
+
+
+def _truth(cover, n):
+    out = set()
+    for m in range(1 << n):
+        mt = "".join(str((m >> i) & 1) for i in range(n))
+        if any(Cube.covers(c, mt) for c in cover):
+            out.add(m)
+    return out
+
+
+class TestEspresso:
+    def test_simple_merge(self):
+        # a'b + ab = b
+        out = minimize_cover(["01", "11"], 2)
+        assert out == ["-1"]
+
+    def test_full_cover(self):
+        out = minimize_cover(["0", "1"], 1)
+        assert out == ["-"]
+
+    def test_empty(self):
+        assert minimize_cover([], 3) == []
+
+    def test_xor_is_irreducible(self):
+        out = minimize_cover(["10", "01"], 2)
+        assert sorted(out) == ["01", "10"]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 5), st.integers(0, 2 ** 10), st.integers())
+    def test_semantics_preserved(self, n, mask, seed):
+        rng = random.Random(seed)
+        n_cubes = rng.randint(0, 6)
+        cover = []
+        for _ in range(n_cubes):
+            cover.append("".join(rng.choice("01-") for _ in range(n)))
+        out = minimize_cover(cover, n)
+        assert _truth(out, n) == _truth(cover, n)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 4), st.integers())
+    def test_never_larger_than_minterm_cover(self, n, seed):
+        rng = random.Random(seed)
+        minterms = [m for m in range(1 << n) if rng.random() < 0.5]
+        cover = ["".join(str((m >> i) & 1) for i in range(n))
+                 for m in minterms]
+        out = minimize_cover(cover, n)
+        assert len(out) <= max(1, len(cover))
+
+    def test_prime_implicants_of_and(self):
+        primes = prime_implicants({3}, 2)
+        assert primes == [(3, 0)]
+
+    def test_unused_fanin_dropped(self):
+        net = LogicNetwork("t")
+        net.add_input("a")
+        net.add_input("b")
+        # f = a*b + a*b' = a (b is redundant)
+        net.add_node("f", ["a", "b"], ["11", "10"])
+        net.add_output("f")
+        minimize_network(net)
+        assert net.nodes["f"].fanins == ["a"]
+
+
+class TestSweep:
+    def test_constant_propagation(self):
+        net = LogicNetwork("t")
+        net.add_input("a")
+        net.add_node("one", [], [""])
+        net.add_node("f", ["a", "one"], ["11"])     # f = a AND 1 = a
+        net.add_output("f")
+        propagate_constants(net)
+        assert "one" not in net.nodes
+        assert net.nodes["f"].fanins == ["a"]
+
+    def test_buffer_collapse(self):
+        net = LogicNetwork("t")
+        net.add_input("a")
+        net.add_node("buf", ["a"], ["1"])
+        net.add_node("f", ["buf"], ["0"])
+        net.add_output("f")
+        collapse_buffers(net)
+        assert net.nodes["f"].fanins == ["a"]
+
+    def test_protected_buffer_kept(self):
+        net = LogicNetwork("t")
+        net.add_input("a")
+        net.add_node("f", ["a"], ["1"])    # PO buffer must remain
+        net.add_output("f")
+        collapse_buffers(net)
+        assert "f" in net.nodes
+
+    def test_dangling_removal(self):
+        net = LogicNetwork("t")
+        net.add_input("a")
+        net.add_node("dead", ["a"], ["0"])
+        net.add_node("f", ["a"], ["1"])
+        net.add_output("f")
+        remove_dangling(net)
+        assert "dead" not in net.nodes
+
+    def test_sweep_preserves_behaviour(self):
+        net = random_logic("r", n_pi=6, n_po=3, n_nodes=30, seed=3)
+        ref = net.copy()
+        sweep(net)
+        vecs = [{f"pi{i}": (v >> i) & 1 for i in range(6)}
+                for v in range(20)]
+        assert net.simulate(vecs) == ref.simulate(vecs)
+
+
+class TestDecompose:
+    def test_two_feasible(self):
+        net = alu_slice(4)
+        out = decompose_network(net)
+        assert out.is_k_feasible(2)
+
+    def test_behaviour_preserved(self):
+        net = alu_slice(3)
+        out = decompose_network(net)
+        rng = random.Random(1)
+        vecs = []
+        for _ in range(15):
+            v = {f"a{i}": rng.randint(0, 1) for i in range(3)}
+            v.update({f"b{i}": rng.randint(0, 1) for i in range(3)})
+            v.update({"op0": rng.randint(0, 1),
+                      "op1": rng.randint(0, 1)})
+            vecs.append(v)
+        assert net.simulate(vecs) == out.simulate(vecs)
+
+
+class TestMapper:
+    def test_k_feasibility_of_result(self):
+        res = optimize_and_map(alu_slice(4), 4)
+        assert res.network.is_k_feasible(4)
+
+    def test_depth_reported(self):
+        res = optimize_and_map(parity_tree(16), 4)
+        # 16-input parity in 4-LUTs: optimal depth 2.
+        assert res.depth == 2
+
+    def test_lut_count_reasonable(self):
+        res = optimize_and_map(parity_tree(16), 4)
+        # Optimal is 5 LUTs; allow slight slack.
+        assert res.lut_count <= 7
+
+    def test_latches_preserved(self):
+        res = optimize_and_map(counter(8), 4)
+        assert len(res.network.latches) == 8
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_mapping_preserves_behaviour_random(self, seed):
+        net = random_logic("r", n_pi=6, n_po=3, n_nodes=25, seed=seed)
+        res = optimize_and_map(net, 4)
+        rng = random.Random(seed + 1)
+        vecs = [{f"pi{i}": rng.randint(0, 1) for i in range(6)}
+                for _ in range(12)]
+        assert net.simulate(vecs) == res.network.simulate(vecs)
+
+    def test_mapping_preserves_sequential_behaviour(self):
+        net = counter(6)
+        res = optimize_and_map(net, 4)
+        vecs = [{"en": 1}] * 30
+        assert net.simulate(vecs) == res.network.simulate(vecs)
+
+    def test_k_must_be_at_least_2(self):
+        with pytest.raises(ValueError):
+            map_to_luts(counter(3), 1)
+
+    def test_larger_k_never_more_luts(self):
+        net = random_logic("r", n_pi=8, n_po=4, n_nodes=40, seed=9)
+        res4 = optimize_and_map(net, 4)
+        res6 = optimize_and_map(net, 6)
+        assert res6.lut_count <= res4.lut_count

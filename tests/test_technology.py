@@ -1,0 +1,77 @@
+"""Tests for the process-technology model."""
+
+import pytest
+
+from repro.circuit.technology import STM018, MetalLayer, Technology
+
+
+class TestMetalLayer:
+    def test_metal3_is_lowest_cap_routing_layer(self):
+        # The paper routes FPGA wires in metal 3 because it has the
+        # lowest capacitance of the stack's routing-usable layers.
+        m3 = STM018.metal("metal3")
+        for name in ("metal1", "metal2", "metal4"):
+            other = STM018.metal(name)
+            assert m3.wire_cap_per_m() < other.wire_cap_per_m()
+
+    def test_cap_decreases_with_spacing(self):
+        m3 = STM018.metal("metal3")
+        assert m3.wire_cap_per_m(1.0, 2.0) < m3.wire_cap_per_m(1.0, 1.0)
+
+    def test_cap_increases_with_width(self):
+        m3 = STM018.metal("metal3")
+        assert m3.wire_cap_per_m(2.0, 1.0) > m3.wire_cap_per_m(1.0, 1.0)
+
+    def test_resistance_halves_at_double_width(self):
+        m3 = STM018.metal("metal3")
+        assert m3.wire_res_per_m(2.0) == pytest.approx(
+            m3.wire_res_per_m(1.0) / 2)
+
+    def test_pitch_grows_with_width_and_spacing(self):
+        m3 = STM018.metal("metal3")
+        assert m3.wire_pitch(2.0, 2.0) > m3.wire_pitch(1.0, 1.0)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            STM018.metal("metal3").wire_res_per_m(0.0)
+        with pytest.raises(ValueError):
+            STM018.metal("metal3").wire_cap_per_m(1.0, -1.0)
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError):
+            STM018.metal("metal9")
+
+
+class TestTechnology:
+    def test_vdd_is_18v(self):
+        assert STM018.vdd == pytest.approx(1.8)
+
+    def test_gate_cap_scale(self):
+        # Minimum device gate cap should be around 0.5-1 fF.
+        c = STM018.gate_cap(STM018.w_min)
+        assert 0.2e-15 < c < 2e-15
+
+    def test_junction_cap_scales_with_width(self):
+        c1 = STM018.junction_cap(STM018.w_min)
+        c10 = STM018.junction_cap(10 * STM018.w_min)
+        assert c10 == pytest.approx(10 * c1)
+
+    def test_beta_nmos_stronger_than_pmos(self):
+        w = STM018.w_min
+        assert STM018.beta(w, ptype=False) > STM018.beta(w, ptype=True)
+
+    def test_transistor_area_units_convention(self):
+        # Betz convention: min width costs 1 unit; k x min costs
+        # 0.5 + 0.5k.
+        assert STM018.transistor_area_units(STM018.w_min) == \
+            pytest.approx(1.0)
+        assert STM018.transistor_area_units(10 * STM018.w_min) == \
+            pytest.approx(5.5)
+
+    def test_scaled_override(self):
+        t = STM018.scaled(vdd=1.5)
+        assert t.vdd == 1.5
+        assert STM018.vdd == pytest.approx(1.8)   # original untouched
+
+    def test_min_transistor_area_positive(self):
+        assert STM018.min_transistor_area() > 0

@@ -1,0 +1,161 @@
+"""Tests for STA (Elmore) and the power model."""
+
+import pytest
+from dataclasses import replace
+
+from repro.arch import DEFAULT_ARCH, build_rr_graph
+from repro.bench import counter, parity_tree, shift_register
+from repro.pack import pack_netlist
+from repro.place import place
+from repro.power import (clb_transistor_count, estimate_power,
+                         signal_probabilities, switching_activities)
+from repro.netlist.logic import LogicNetwork
+from repro.route import route
+from repro.synth import optimize_and_map
+from repro.timing import analyze_timing, elmore_sink_delays
+
+
+def flow_to_routed(net, seed=3):
+    mapped = optimize_and_map(net, 4).network
+    cn = pack_netlist(mapped)
+    pl = place(cn, DEFAULT_ARCH, seed=seed)
+    g = build_rr_graph(DEFAULT_ARCH, pl.grid_size)
+    rr = route(pl, g)
+    assert rr.success
+    return mapped, cn, pl, rr, g
+
+
+@pytest.fixture(scope="module")
+def counter_flow():
+    return flow_to_routed(counter(8))
+
+
+class TestElmore:
+    def test_delay_positive_and_ordered(self, counter_flow):
+        mapped, cn, pl, rr, g = counter_flow
+        for name, net in pl.nets.items():
+            tree = rr.trees[name]
+            sinks = [g.sink_of(pl.loc[b]) for b in net["sinks"]]
+            d = elmore_sink_delays(tree, g, sinks)
+            for v in d.values():
+                assert v > 0
+
+    def test_farther_sink_slower_on_line_topology(self):
+        # Construct a 1-net design: shift register has serial chains.
+        mapped, cn, pl, rr, g = flow_to_routed(shift_register(4))
+        # At least the delays must all be finite and positive.
+        tr = analyze_timing(cn, pl, rr, g, DEFAULT_ARCH)
+        assert tr.critical_path_s > 0
+
+
+class TestSta:
+    def test_critical_path_scale(self, counter_flow):
+        mapped, cn, pl, rr, g = counter_flow
+        tr = analyze_timing(cn, pl, rr, g, DEFAULT_ARCH)
+        # ns-scale for a tiny design at 0.18 um.
+        assert 0.3e-9 < tr.critical_path_s < 30e-9
+        assert tr.fmax_hz == pytest.approx(1 / tr.critical_path_s)
+
+    def test_detff_doubles_data_rate(self, counter_flow):
+        mapped, cn, pl, rr, g = counter_flow
+        tr = analyze_timing(cn, pl, rr, g, DEFAULT_ARCH)
+        assert tr.data_rate_hz == pytest.approx(2 * tr.fmax_hz)
+
+    def test_deeper_logic_is_slower(self):
+        f_shallow = flow_to_routed(parity_tree(8))
+        f_deep = flow_to_routed(parity_tree(64))
+        t_s = analyze_timing(*f_shallow[1:], DEFAULT_ARCH)
+        t_d = analyze_timing(*f_deep[1:], DEFAULT_ARCH)
+        assert t_d.critical_path_s > t_s.critical_path_s
+
+    def test_floor_is_ff_overhead(self, counter_flow):
+        mapped, cn, pl, rr, g = counter_flow
+        tr = analyze_timing(cn, pl, rr, g, DEFAULT_ARCH)
+        assert tr.critical_path_s >= (DEFAULT_ARCH.ff_clk_to_q_s
+                                      + DEFAULT_ARCH.ff_setup_s)
+
+
+class TestActivity:
+    def test_pi_probability(self):
+        net = counter(4)
+        p = signal_probabilities(net)
+        assert p["en"] == 0.5
+
+    def test_xor_probability(self):
+        net = LogicNetwork("t")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("x", ["a", "b"], ["10", "01"])
+        net.add_output("x")
+        p = signal_probabilities(net)
+        assert p["x"] == pytest.approx(0.5)
+
+    def test_and_probability(self):
+        net = LogicNetwork("t")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("x", ["a", "b"], ["11"])
+        net.add_output("x")
+        p = signal_probabilities(net)
+        assert p["x"] == pytest.approx(0.25)
+
+    def test_activity_bounds(self):
+        net = counter(6)
+        act = switching_activities(net)
+        for a in act.values():
+            assert 0.0 <= a <= 0.5 + 1e-9
+
+    def test_constant_has_zero_activity(self):
+        net = LogicNetwork("t")
+        net.add_input("a")
+        net.add_node("one", [], [""])
+        net.add_node("f", ["a", "one"], ["11"])
+        net.add_output("f")
+        act = switching_activities(net)
+        assert act["one"] == 0.0
+
+
+class TestPowerModel:
+    def test_breakdown_sums(self, counter_flow):
+        mapped, cn, pl, rr, g = counter_flow
+        p = estimate_power(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        assert p.total_w == pytest.approx(
+            p.routing_w + p.logic_w + p.clock_w + p.short_circuit_w
+            + p.leakage_w)
+        assert p.short_circuit_w == pytest.approx(0.1 * p.dynamic_w)
+
+    def test_power_scales_with_frequency(self, counter_flow):
+        mapped, cn, pl, rr, g = counter_flow
+        p1 = estimate_power(mapped, cn, pl, rr, g, DEFAULT_ARCH,
+                            f_clk_hz=50e6)
+        p2 = estimate_power(mapped, cn, pl, rr, g, DEFAULT_ARCH,
+                            f_clk_hz=100e6)
+        assert p2.dynamic_w == pytest.approx(2 * p1.dynamic_w, rel=1e-6)
+        assert p2.leakage_w == pytest.approx(p1.leakage_w)
+
+    def test_gated_clock_never_worse_for_idle_clusters(self):
+        # A pure-combinational design has all clusters FF-idle.
+        mapped, cn, pl, rr, g = flow_to_routed(parity_tree(16))
+        p_gate = estimate_power(mapped, cn, pl, rr, g, DEFAULT_ARCH,
+                                gated_clock=True)
+        p_nogate = estimate_power(mapped, cn, pl, rr, g, DEFAULT_ARCH,
+                                  gated_clock=False)
+        assert p_gate.clock_w < p_nogate.clock_w
+
+    def test_per_net_power_accounted(self, counter_flow):
+        mapped, cn, pl, rr, g = counter_flow
+        p = estimate_power(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        assert sum(p.per_net_w.values()) == pytest.approx(p.routing_w)
+
+    def test_transistor_count_scale(self):
+        n = clb_transistor_count(DEFAULT_ARCH)
+        # 5 BLEs of a 4-LUT cluster: several hundred to a few thousand.
+        assert 500 < n < 5000
+
+    def test_stats_keys(self, counter_flow):
+        mapped, cn, pl, rr, g = counter_flow
+        p = estimate_power(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        s = p.stats()
+        assert set(s) == {"f_clk_MHz", "routing_mW", "logic_mW",
+                          "clock_mW", "short_circuit_mW", "leakage_mW",
+                          "total_mW"}

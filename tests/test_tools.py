@@ -1,0 +1,121 @@
+"""Tests for DRUID (EDIF normalisation) and E2FMT (EDIF -> BLIF)."""
+
+import pytest
+
+from repro.netlist.structural import StructuralNetlist
+from repro.tools.druid import druid, legalize_names, sweep_buffers
+from repro.tools.e2fmt import structural_to_logic
+
+
+def _base() -> StructuralNetlist:
+    s = StructuralNetlist("top")
+    s.add_port("a", "input")
+    s.add_port("y", "output")
+    return s
+
+
+class TestSweepBuffers:
+    def test_buffer_chain_collapsed(self):
+        s = _base()
+        s.add_instance("b1", "BUF", {"A": "a", "Y": "n1"})
+        s.add_instance("b2", "BUF", {"A": "n1", "Y": "n2"})
+        s.add_instance("g", "INV", {"A": "n2", "Y": "y"})
+        out = sweep_buffers(s)
+        assert all(i.gate != "BUF" for i in out.instances)
+        inv = out.instances[0]
+        assert inv.pins["A"] == "a"
+
+    def test_output_port_net_preserved(self):
+        s = _base()
+        s.add_instance("g", "INV", {"A": "a", "Y": "n1"})
+        s.add_instance("b", "BUF", {"A": "n1", "Y": "y"})
+        out = sweep_buffers(s)
+        out.validate()
+        # y (a port) must still be driven.
+        assert "y" in out.drivers()
+
+    def test_port_to_port_buffer_kept(self):
+        s = _base()
+        s.add_instance("b", "BUF", {"A": "a", "Y": "y"})
+        out = sweep_buffers(s)
+        # A genuine feed-through cannot be removed.
+        assert len(out.instances) == 1
+        out.validate()
+
+    def test_non_buffers_untouched(self):
+        s = _base()
+        s.add_instance("g", "INV", {"A": "a", "Y": "y"})
+        out = sweep_buffers(s)
+        assert out.stats() == s.stats()
+
+
+class TestLegalizeNames:
+    def test_illegal_characters_replaced(self):
+        s = StructuralNetlist("top$design")
+        s.add_port("a.b", "input")
+        s.add_port("y", "output")
+        s.add_instance("u$1", "INV", {"A": "a.b", "Y": "y"})
+        out = legalize_names(s)
+        assert "$" not in out.name
+        for port in out.ports:
+            assert "." not in port.name
+        out.validate()
+
+    def test_uniqueness_preserved(self):
+        s = StructuralNetlist("t")
+        s.add_port("a$b", "input")
+        s.add_port("a.b", "input")     # both map to a_b
+        s.add_port("y", "output")
+        s.add_instance("u", "AND2", {"A": "a$b", "B": "a.b", "Y": "y"})
+        out = legalize_names(s)
+        names = [p.name for p in out.ports]
+        assert len(names) == len(set(names))
+        # The AND still reads two *different* nets.
+        inst = out.instances[0]
+        assert inst.pins["A"] != inst.pins["B"]
+
+
+class TestDruidPipeline:
+    def test_druid_validates(self):
+        s = _base()
+        s.add_instance("b", "BUF", {"A": "a", "Y": "n$1"})
+        s.add_instance("g", "INV", {"A": "n$1", "Y": "y"})
+        out = druid(s)
+        out.validate()
+        assert all("$" not in n for i in out.instances
+                   for n in i.pins.values())
+
+
+class TestE2fmt:
+    def test_gate_covers_lowered(self):
+        s = _base()
+        s.add_port("b", "input")
+        s.add_instance("g", "XOR2", {"A": "a", "B": "b", "Y": "y"})
+        logic = structural_to_logic(s)
+        out = logic.simulate([{"a": 1, "b": 0}, {"a": 1, "b": 1}])
+        assert [o["y"] for o in out] == [1, 0]
+
+    def test_dff_becomes_latch_and_clock_removed_from_inputs(self):
+        s = StructuralNetlist("t")
+        s.add_port("clk", "input")
+        s.add_port("d", "input")
+        s.add_port("q", "output")
+        s.add_instance("ff", "DFF", {"D": "d", "CLK": "clk", "Q": "q"})
+        logic = structural_to_logic(s)
+        assert len(logic.latches) == 1
+        assert logic.latches[0].control == "clk"
+        assert "clk" not in logic.inputs
+        assert "clk" in logic.clocks
+
+    def test_mux_semantics(self):
+        s = _base()
+        s.add_port("s", "input")
+        s.add_port("b", "input")
+        s.add_instance("m", "MUX2", {"S": "s", "A": "a", "B": "b",
+                                     "Y": "y"})
+        logic = structural_to_logic(s)
+        out = logic.simulate([
+            {"s": 0, "a": 1, "b": 0},
+            {"s": 1, "a": 1, "b": 0},
+        ])
+        assert [o["y"] for o in out] == [1, 0]

@@ -1,0 +1,95 @@
+"""Tests for PWL stimulus construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.waveforms import (PWL, clock, dc, fig4_stimulus,
+                                     pulse_train, step)
+
+
+class TestPWL:
+    def test_dc(self):
+        w = dc(1.8)
+        assert w(0.0) == 1.8
+        assert w(1e-6) == 1.8
+
+    def test_step_interpolation(self):
+        w = step(1e-9, 0.0, 1.8, t_rise=100e-12)
+        assert w(0.5e-9) == 0.0
+        assert w(1.05e-9) == pytest.approx(0.9)
+        assert w(2e-9) == 1.8
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PWL((0.0, 1.0), (0.0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PWL((), ())
+
+    def test_unordered_times_rejected(self):
+        with pytest.raises(ValueError):
+            PWL((1.0, 0.0), (0.0, 1.0))
+
+    def test_sample_matches_scalar(self):
+        w = step(1e-9, 0.0, 1.8)
+        t = np.linspace(0, 3e-9, 50)
+        s = w.sample(t)
+        for ti, si in zip(t, s):
+            assert si == pytest.approx(float(w(ti)))
+
+    @given(st.floats(0.1e-9, 10e-9), st.floats(0.1, 3.0))
+    def test_step_reaches_target(self, t_step, v1):
+        w = step(t_step, 0.0, v1)
+        assert w(t_step + 1e-9) == pytest.approx(v1)
+
+
+class TestClock:
+    def test_clock_levels(self):
+        w = clock(2e-9, 2, 1.8)
+        # high in the middle of the first half period
+        assert w(0.5e-9) == pytest.approx(1.8)
+        assert w(1.5e-9) == pytest.approx(0.0)
+        assert w(2.5e-9) == pytest.approx(1.8)
+
+    def test_clock_edge_count(self):
+        w = clock(2e-9, 4, 1.8)
+        t = np.linspace(0, 8.5e-9, 20000)
+        v = w.sample(t)
+        above = v > 0.9
+        edges = np.count_nonzero(above[1:] != above[:-1])
+        assert edges == 8    # 4 rising + 4 falling
+
+    def test_pulse_train_spacing_violation(self):
+        with pytest.raises(ValueError):
+            pulse_train([(1e-9, 1.8), (0.5e-9, 0.0)])
+
+
+class TestFig4:
+    def test_stimulus_shapes(self):
+        clk, data, t_end = fig4_stimulus(1.8)
+        assert t_end > 10e-9
+        t = np.linspace(0, t_end, 5000)
+        vc = clk.sample(t)
+        vd = data.sample(t)
+        # both rails are exercised on both signals
+        assert vc.max() == pytest.approx(1.8, abs=1e-9)
+        assert vc.min() == pytest.approx(0.0, abs=1e-9)
+        assert vd.max() == pytest.approx(1.8, abs=1e-9)
+        assert vd.min() == pytest.approx(0.0, abs=1e-9)
+
+    def test_data_changes_before_each_capturing_edge(self):
+        # Every data edge must precede a clock edge (setup respected).
+        clk, data, t_end = fig4_stimulus(1.8, period=2e-9)
+        t = np.linspace(0, t_end, 40000)
+        vd = data.sample(t)
+        vc = clk.sample(t)
+        d_above = vd > 0.9
+        c_above = vc > 0.9
+        d_edges = t[1:][d_above[1:] != d_above[:-1]]
+        c_edges = t[1:][c_above[1:] != c_above[:-1]]
+        for de in d_edges[::2]:
+            after = c_edges[c_edges > de]
+            assert after.size > 0
+            assert after[0] - de > 0.05e-9
