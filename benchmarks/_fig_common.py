@@ -1,4 +1,11 @@
-"""Shared driver for the Fig. 8/9/10 routing-switch sizing sweeps."""
+"""Shared driver for the Fig. 8/9/10 routing-switch sizing sweeps.
+
+The sweeps submit through the batch experiment engine
+(:mod:`repro.exp`): ``pytest benchmarks/ --repro-jobs 4`` fans the
+32 points of each figure over 4 workers, and a second run hits the
+content-addressed result cache instead of re-simulating (use
+``--repro-no-cache`` to force recomputation).
+"""
 
 from conftest import print_table, save_results
 from repro.circuit.experiments import run_fig_sweep

@@ -37,3 +37,28 @@ def _fmt(v) -> str:
     if isinstance(v, float):
         return f"{v:.3g}"
     return str(v)
+
+
+def pytest_addoption(parser):
+    """Engine knobs for the whole benchmark harness.
+
+    ``--repro-jobs N``     fan independent measurements over N workers
+    ``--repro-no-cache``   recompute instead of reading the result cache
+
+    They are exported as ``REPRO_JOBS`` / ``REPRO_NO_CACHE`` so every
+    driver that defers to :func:`repro.exp.default_runner` obeys them.
+    """
+    parser.addoption("--repro-jobs", type=int, default=None,
+                     help="worker processes for experiment jobs "
+                          "(0 = all cores)")
+    parser.addoption("--repro-no-cache", action="store_true",
+                     help="disable the content-addressed result cache")
+
+
+def pytest_configure(config):
+    import os
+    jobs = config.getoption("--repro-jobs")
+    if jobs is not None:
+        os.environ["REPRO_JOBS"] = str(jobs)
+    if config.getoption("--repro-no-cache"):
+        os.environ["REPRO_NO_CACHE"] = "1"

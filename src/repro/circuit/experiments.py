@@ -9,12 +9,20 @@ examples can all share them:
 * :func:`run_table3` -- CLB-level single vs gated clock (Table 3)
 * :func:`run_fig_sweep` -- E*D*A vs routing switch width (Figs. 8-10
   and the section 3.3.2 tri-state buffer study)
+
+Every driver fans its independent measurements out through the batch
+experiment engine (:mod:`repro.exp`): pass ``runner=ParallelRunner(...)``
+to control worker count and caching, or set ``REPRO_JOBS`` /
+``REPRO_NO_CACHE`` in the environment to configure the default.
+Results are deterministic and row order matches the paper regardless
+of how many workers computed them.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..exp import JobSpec, ParallelRunner, default_runner
 from .clockgate import GatedClockSetup, build_ble_clock, build_clb_clock
 from .flipflops import DETFF_VARIANTS
 from .interconnect import RoutingMeasurement, sweep_pass_transistor
@@ -82,11 +90,21 @@ def characterize_detff(name: str, *, tech: Technology = STM018,
     }
 
 
-def run_table1(*, tech: Technology = STM018,
-               dt: float = 1e-12) -> list[dict[str, float]]:
+def _values(specs: list[JobSpec],
+            runner: ParallelRunner | None) -> list:
+    """Submit through the engine (env-configured default if none)."""
+    if runner is None:
+        runner = default_runner()
+    return runner.run_values(specs)
+
+
+def run_table1(*, tech: Technology = STM018, dt: float = 1e-12,
+               runner: ParallelRunner | None = None
+               ) -> list[dict[str, float]]:
     """Table 1: all five DETFF candidates, in the paper's row order."""
-    return [characterize_detff(name, tech=tech, dt=dt)
-            for name in DETFF_VARIANTS]
+    specs = [JobSpec.make("detff", name=name, tech=tech, dt=dt)
+             for name in DETFF_VARIANTS]
+    return _values(specs, runner)
 
 
 def _cycle_energy(setup: GatedClockSetup, dt: float) -> float:
@@ -95,17 +113,22 @@ def _cycle_energy(setup: GatedClockSetup, dt: float) -> float:
     return res.energy_between(setup.t_start, setup.t_end)
 
 
-def run_table2(*, dt: float = 1e-12) -> dict[str, float]:
+def run_table2(*, dt: float = 1e-12,
+               runner: ParallelRunner | None = None) -> dict[str, float]:
     """Table 2: BLE-level single vs gated clock energies (fJ/cycle).
 
     Returns single-clock energy, gated energy with enable=1 and
     enable=0, and the derived percentages the paper quotes (saving at
     enable=0, overhead at enable=1).
     """
-    e_single = _cycle_energy(build_ble_clock(gated=False), dt)
-    e_gate1 = _cycle_energy(build_ble_clock(gated=True, enable=1), dt)
-    e_gate0 = _cycle_energy(
-        build_ble_clock(gated=True, enable=0, data_active=False), dt)
+    specs = [
+        JobSpec.make("clock_cell", level="ble", gated=False, dt=dt),
+        JobSpec.make("clock_cell", level="ble", gated=True, enable=1,
+                     dt=dt),
+        JobSpec.make("clock_cell", level="ble", gated=True, enable=0,
+                     data_active=False, dt=dt),
+    ]
+    e_single, e_gate1, e_gate0 = _values(specs, runner)
     return {
         "single_fJ": e_single / 1e-15,
         "gated_en1_fJ": e_gate1 / 1e-15,
@@ -115,13 +138,19 @@ def run_table2(*, dt: float = 1e-12) -> dict[str, float]:
     }
 
 
-def run_table3(*, dt: float = 1e-12) -> list[dict[str, float]]:
+def run_table3(*, dt: float = 1e-12,
+               runner: ParallelRunner | None = None
+               ) -> list[dict[str, float]]:
     """Table 3: CLB-level single vs gated clock for three conditions."""
+    conditions = (("all_off", 0), ("one_on", 1), ("all_on", 5))
+    specs = [JobSpec.make("clock_cell", level="clb", gated=gated,
+                          n_on=n_on, dt=dt)
+             for _, n_on in conditions for gated in (False, True)]
+    energies = iter(_values(specs, runner))
     rows = []
-    for label, n_on in (("all_off", 0), ("one_on", 1), ("all_on", 5)):
-        e_single = _cycle_energy(build_clb_clock(gated=False, n_on=n_on),
-                                 dt)
-        e_gated = _cycle_energy(build_clb_clock(gated=True, n_on=n_on), dt)
+    for label, n_on in conditions:
+        e_single = next(energies)
+        e_gated = next(energies)
         rows.append({
             "condition": label,
             "single_fJ": e_single / 1e-15,
@@ -153,10 +182,15 @@ def run_fig_sweep(fig: str, *, widths: list[float] | None = None,
                   wire_lengths: list[int] | None = None,
                   switch_type: str = "pass",
                   tech: Technology = STM018,
-                  dt: float = 2e-12) -> dict[int, list[RoutingMeasurement]]:
+                  dt: float = 2e-12,
+                  runner: ParallelRunner | None = None
+                  ) -> dict[int, list[RoutingMeasurement]]:
     """Figs. 8/9/10 (or the 3.3.2 buffer study): EDA vs switch width.
 
-    ``fig`` is one of ``"fig8"``, ``"fig9"``, ``"fig10"``.
+    ``fig`` is one of ``"fig8"``, ``"fig9"``, ``"fig10"``.  Every
+    (wire length, width) point is an independent job, so the full grid
+    parallelises across the runner's workers; rows come back grouped
+    by wire length with widths in the order given.
     """
     if fig not in FIG_METAL_CONFIGS:
         raise ValueError(f"unknown figure {fig!r}")
@@ -166,6 +200,10 @@ def run_fig_sweep(fig: str, *, widths: list[float] | None = None,
     if switch_type == "tbuf":
         # The paper caps buffers at 16x minimum.
         widths = [w for w in widths if w <= 16.0]
-    return sweep_pass_transistor(widths, wire_lengths,
-                                 switch_type=switch_type, tech=tech,
-                                 dt=dt, **cfg)
+    specs = [JobSpec.make("fig_point", width_mult=w, wire_length=length,
+                          switch_type=switch_type, tech=tech, dt=dt,
+                          **cfg)
+             for length in wire_lengths for w in widths]
+    values = iter(_values(specs, runner))
+    return {length: [next(values) for _ in widths]
+            for length in wire_lengths}

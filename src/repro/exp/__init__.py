@@ -1,0 +1,32 @@
+"""repro.exp -- the batch experiment engine.
+
+Fans independent experiment jobs (sweep points, flip-flop variants,
+whole-flow benchmark circuits) over a ``multiprocessing`` pool with
+deterministic result ordering, per-job timing and failure capture, and
+a content-addressed on-disk result cache (key = SHA-256 of job spec +
+technology parameters + code version) so re-runs and partial sweeps
+hit cache instead of re-simulating.
+
+Typical use::
+
+    from repro.exp import JobSpec, ParallelRunner
+
+    runner = ParallelRunner(jobs=4)
+    specs = [JobSpec.make("fig_point", width_mult=w, wire_length=4)
+             for w in (1.0, 2.0, 4.0)]
+    points = runner.run_values(specs)
+
+Every experiment driver in :mod:`repro.circuit.experiments` accepts a
+``runner=`` argument; with none given they consult ``REPRO_JOBS`` /
+``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` via :func:`default_runner`.
+"""
+
+from .cache import NullCache, ResultCache, default_cache_dir
+from .jobspec import JobSpec, canonical, canonical_json, repro_code_version
+from .runner import JobResult, ParallelRunner, default_runner
+
+__all__ = [
+    "JobSpec", "JobResult", "ParallelRunner", "default_runner",
+    "ResultCache", "NullCache", "default_cache_dir",
+    "canonical", "canonical_json", "repro_code_version",
+]

@@ -1,0 +1,123 @@
+"""On-disk content-addressed result cache.
+
+Values are pickled under ``<root>/<key[:2]>/<key>.pkl`` where the key
+is the SHA-256 digest from :meth:`repro.exp.jobspec.JobSpec.key`.
+Writes are atomic (temp file + ``os.replace``) so concurrent worker
+processes can share one cache directory safely; a corrupt or
+half-written entry reads back as a miss.
+
+The default location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-exp``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["ResultCache", "NullCache", "default_cache_dir"]
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-exp"
+
+
+class ResultCache:
+    """Content-addressed pickle store with hit/miss accounting."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # -- paths ---------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- access --------------------------------------------------------
+    def get(self, key: str) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; unreadable entries count as misses."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            # Unpickling arbitrary corrupt bytes can raise nearly any
+            # exception type (ValueError, KeyError, struct.error, ...);
+            # a cache read must never propagate, so treat them all as
+            # a miss and recompute.
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink(missing_ok=True)
+        self.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    # -- maintenance ---------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*/*.pkl")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = len(self)
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        return n
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts}
+
+
+class NullCache(ResultCache):
+    """A cache that never stores anything (``--no-cache``)."""
+
+    def __init__(self):
+        super().__init__(root=Path(os.devnull))
+
+    def path_for(self, key: str) -> Path:  # never touched
+        return self.root
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        pass
+
+    def __contains__(self, key: str) -> bool:
+        return False
+
+    def keys(self) -> Iterator[str]:
+        return iter(())
+
+    def clear(self) -> int:
+        return 0

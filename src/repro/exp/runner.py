@@ -1,0 +1,141 @@
+"""The batch experiment engine: fan jobs over a process pool.
+
+:class:`ParallelRunner` takes a list of :class:`~repro.exp.jobspec.JobSpec`
+and returns one :class:`JobResult` per spec **in submission order**,
+regardless of how many worker processes computed them or in which order
+they finished.  Each result carries wall-clock seconds, a cached flag
+and, for failed jobs, the full worker traceback -- one bad sweep point
+does not take down the batch.
+
+Cache lookups happen in the parent before any work is dispatched, so a
+warm cache never spawns a pool at all; completed results are written
+back so partial sweeps resume where they left off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .cache import NullCache, ResultCache
+from .jobspec import JobSpec
+
+__all__ = ["JobResult", "ParallelRunner", "default_runner"]
+
+#: Environment knobs honoured by :func:`default_runner` (and therefore
+#: by every experiment driver that does not pass an explicit runner).
+ENV_JOBS = "REPRO_JOBS"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: value or captured failure, plus accounting."""
+
+    spec: JobSpec
+    key: str
+    value: Any = None
+    seconds: float = 0.0
+    cached: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        if self.error is not None:
+            raise RuntimeError(
+                f"job {self.spec} failed:\n{self.error}")
+        return self.value
+
+
+def _execute_spec(spec: JobSpec) -> tuple[Any, float, str | None]:
+    """Run one job; never raises (top-level so pools can pickle it)."""
+    from . import tasks  # late import: breaks import cycles, and under
+    # spawn it (re)populates the registry inside the worker process
+    t0 = time.perf_counter()
+    try:
+        value = tasks.execute(spec)
+        return value, time.perf_counter() - t0, None
+    except Exception:
+        return None, time.perf_counter() - t0, traceback.format_exc()
+
+
+class ParallelRunner:
+    """Run independent jobs over ``multiprocessing`` with result caching.
+
+    ``jobs``          worker processes; ``<= 0`` means ``os.cpu_count()``.
+    ``cache``         a :class:`ResultCache` to share, or ``None`` to build
+                      one from ``use_cache`` (``NullCache`` when false).
+    ``code_version``  override the package digest in cache keys (tests).
+    """
+
+    def __init__(self, jobs: int = 1, *,
+                 cache: ResultCache | None = None,
+                 use_cache: bool = True,
+                 code_version: str | None = None):
+        if jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        if cache is None:
+            cache = ResultCache() if use_cache else NullCache()
+        self.cache = cache
+        self.code_version = code_version
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[JobSpec]) -> list[JobResult]:
+        """Execute all jobs; results align one-to-one with ``specs``."""
+        keys = [spec.key(self.code_version) for spec in specs]
+        results: list[JobResult | None] = [None] * len(specs)
+
+        pending: list[int] = []
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            hit, value = self.cache.get(key)
+            if hit:
+                results[i] = JobResult(spec=spec, key=key, value=value,
+                                       cached=True)
+            else:
+                pending.append(i)
+
+        if pending:
+            todo = [specs[i] for i in pending]
+            if self.jobs > 1 and len(todo) > 1:
+                import multiprocessing as mp
+                procs = min(self.jobs, len(todo))
+                with mp.Pool(processes=procs) as pool:
+                    outs = pool.map(_execute_spec, todo, chunksize=1)
+            else:
+                outs = [_execute_spec(spec) for spec in todo]
+            for i, (value, seconds, error) in zip(pending, outs):
+                results[i] = JobResult(spec=specs[i], key=keys[i],
+                                       value=value, seconds=seconds,
+                                       error=error)
+                if error is None:
+                    self.cache.put(keys[i], value)
+
+        return results  # type: ignore[return-value]
+
+    def run_values(self, specs: Sequence[JobSpec]) -> list[Any]:
+        """Like :meth:`run` but unwraps values, raising on any failure."""
+        return [r.unwrap() for r in self.run(specs)]
+
+
+def default_runner() -> ParallelRunner:
+    """Runner configured from the environment.
+
+    ``REPRO_JOBS``      worker count (default 1; ``0`` = all cores)
+    ``REPRO_NO_CACHE``  truthy disables the result cache
+    ``REPRO_CACHE_DIR`` relocates the cache (see :mod:`repro.exp.cache`)
+    """
+    try:
+        jobs = int(os.environ.get(ENV_JOBS, "1"))
+    except ValueError:
+        jobs = 1
+    no_cache = os.environ.get(ENV_NO_CACHE, "").lower() in _TRUTHY
+    return ParallelRunner(jobs=jobs, use_cache=not no_cache)

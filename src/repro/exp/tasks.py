@@ -1,0 +1,120 @@
+"""Registered job kinds the engine knows how to execute.
+
+Each task is a thin, picklable adapter from a flat parameter dict to
+one library call.  Imports happen inside the task bodies so this module
+stays import-cycle free (the experiment modules import the engine, the
+engine only reaches back at execution time) and so spawned workers can
+rebuild the registry from a bare interpreter.
+
+Kinds
+-----
+``detff``       one Table 1 flip-flop characterisation row
+``clock_cell``  one Table 2/3 clock-network energy measurement (J)
+``fig_point``   one Fig. 8-10 / tri-state sizing point
+``flow``        one complete VHDL-to-bitstream flow (condensed result)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .jobspec import JobSpec
+
+__all__ = ["task", "execute", "registered_kinds"]
+
+_REGISTRY: dict[str, Callable[..., Any]] = {}
+
+
+def task(kind: str):
+    """Register ``fn`` as the implementation of job kind ``kind``."""
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        _REGISTRY[kind] = fn
+        return fn
+    return decorate
+
+
+def registered_kinds() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def execute(spec: JobSpec) -> Any:
+    """Run the task a spec names, with its parameters."""
+    try:
+        fn = _REGISTRY[spec.kind]
+    except KeyError:
+        raise KeyError(f"unknown job kind {spec.kind!r}; "
+                       f"registered: {registered_kinds()}") from None
+    return fn(**spec.params)
+
+
+# ---------------------------------------------------------------------------
+# Platform-side experiments (tables and figures)
+# ---------------------------------------------------------------------------
+
+@task("detff")
+def _detff(name: str, tech=None, dt: float = 1e-12) -> dict[str, float]:
+    from ..circuit.experiments import characterize_detff
+    from ..circuit.technology import STM018
+    return characterize_detff(name, tech=tech or STM018, dt=dt)
+
+
+@task("clock_cell")
+def _clock_cell(level: str, gated: bool, dt: float = 1e-12,
+                enable: int | None = None, data_active: bool = True,
+                n_on: int | None = None) -> float:
+    """Steady-state energy of one clock-network configuration (J)."""
+    from ..circuit.clockgate import build_ble_clock, build_clb_clock
+    from ..circuit.simulator import simulate
+    if level == "ble":
+        setup = build_ble_clock(gated=gated, enable=enable,
+                                data_active=data_active)
+    elif level == "clb":
+        if n_on is None:
+            raise ValueError("clb clock cell needs n_on")
+        setup = build_clb_clock(gated=gated, n_on=n_on)
+    else:
+        raise ValueError(f"unknown clock level {level!r}")
+    res = simulate(setup.circuit, setup.t_sim, dt=dt)
+    return res.energy_between(setup.t_start, setup.t_end)
+
+
+@task("fig_point")
+def _fig_point(width_mult: float, wire_length: int, *,
+               metal_width: float = 1.0, metal_spacing: float = 1.0,
+               switch_type: str = "pass", tech=None,
+               dt: float = 2e-12):
+    from ..circuit.interconnect import measure_routing
+    from ..circuit.technology import STM018
+    return measure_routing(width_mult=width_mult,
+                           wire_length=wire_length,
+                           metal_width=metal_width,
+                           metal_spacing=metal_spacing,
+                           switch_type=switch_type,
+                           tech=tech or STM018, dt=dt)
+
+
+# ---------------------------------------------------------------------------
+# CAD-flow benchmarks
+# ---------------------------------------------------------------------------
+
+@task("flow")
+def _flow(vhdl: str, *, seed: int = 1, place_effort: float = 1.0,
+          min_channel_width: bool = False, gated_clock: bool = True,
+          f_clk_hz: float | None = None, arch=None,
+          use_cache: bool = True) -> dict[str, Any]:
+    """Run the full flow; return a condensed, picklable QoR record."""
+    from ..arch import DEFAULT_ARCH
+    from ..flow.flow import FlowOptions, run_flow
+    options = FlowOptions(arch=arch or DEFAULT_ARCH, seed=seed,
+                          place_effort=place_effort,
+                          min_channel_width=min_channel_width,
+                          gated_clock=gated_clock, f_clk_hz=f_clk_hz,
+                          use_cache=use_cache)
+    res = run_flow(vhdl, options)
+    return {
+        "summary": res.summary(),
+        "bitstream": res.bitstream,
+        "placement": {block: (site.x, site.y, site.sub)
+                      for block, site in res.placement.loc.items()},
+        "stage_seconds": dict(res.stage_seconds),
+    }

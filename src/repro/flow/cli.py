@@ -12,6 +12,14 @@ standalone program as well as part of a complete design framework":
     repro-flow dutys     -o fpga.arch [--n 5 --k 4 ...]
     repro-flow vpr       mapped.blif --arch fpga.arch --workdir out/
     repro-flow flow      design.vhd --workdir out/ [--html gui.html]
+    repro-flow exp       table1|table2|table3|fig8|fig9|fig10|tristate
+                         [--jobs 4] [--no-cache] [-o rows.json]
+
+``vpr``/``flow`` cache every stage output content-addressed (input
+hash + options + code version); ``exp`` fans the independent
+measurements of one table/figure over a worker pool with the same
+cache.  ``--no-cache`` forces recomputation, ``--cache-dir`` (or
+``REPRO_CACHE_DIR``) relocates the store.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from pathlib import Path
 
 from ..arch import ArchParams, DEFAULT_ARCH, generate_arch_file, \
     load_arch_file
+from ..exp import NullCache, ParallelRunner, ResultCache
 from ..hdl.parser import check_syntax
 from ..hdl.synth import synthesize
 from ..netlist.blif import load_blif, save_blif
@@ -35,6 +44,21 @@ from .flow import DesignFlow, FlowOptions, run_flow_from_logic
 from .gui import FlowGui, render_html
 
 __all__ = ["main"]
+
+
+def _add_cache_args(p) -> None:
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute everything; do not read or write "
+                        "the result cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache location (default REPRO_CACHE_DIR or "
+                        "~/.cache/repro-exp)")
+
+
+def _runner_from_args(args) -> ParallelRunner:
+    cache = (NullCache() if args.no_cache
+             else ResultCache(args.cache_dir))
+    return ParallelRunner(jobs=getattr(args, "jobs", 1), cache=cache)
 
 
 def _arch_from_args(args) -> ArchParams:
@@ -94,6 +118,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--workdir", default=None)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--min-channel-width", action="store_true")
+    _add_cache_args(p)
 
     p = sub.add_parser("flow", help="run the complete VHDL-to-bitstream "
                                     "flow")
@@ -103,6 +128,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--html", default=None,
                    help="write the GUI page here")
+    _add_cache_args(p)
+
+    p = sub.add_parser("exp", help="run a batch experiment (table or "
+                                   "figure) through the engine")
+    p.add_argument("what", choices=["table1", "table2", "table3",
+                                    "fig8", "fig9", "fig10", "tristate"])
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = all cores)")
+    p.add_argument("--dt", type=float, default=None,
+                   help="simulation timestep in seconds")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the result rows as JSON here")
+    _add_cache_args(p)
 
     args = parser.parse_args(argv)
 
@@ -156,7 +194,9 @@ def main(argv: list[str] | None = None) -> int:
         logic = load_blif(args.input)
         options = FlowOptions(arch=arch, seed=args.seed,
                               min_channel_width=args.min_channel_width,
-                              work_dir=args.workdir)
+                              work_dir=args.workdir,
+                              use_cache=not args.no_cache,
+                              cache_dir=args.cache_dir)
         result = run_flow_from_logic(logic, options)
         print(json.dumps(result.summary(), indent=2))
         return 0
@@ -164,7 +204,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.cmd == "flow":
         arch = _arch_from_args(args)
         options = FlowOptions(arch=arch, seed=args.seed,
-                              work_dir=args.workdir)
+                              work_dir=args.workdir,
+                              use_cache=not args.no_cache,
+                              cache_dir=args.cache_dir)
         flow = DesignFlow(options)
         gui = FlowGui()
         result = gui.run(flow, Path(args.input).read_text())
@@ -174,8 +216,47 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.html}")
         return 0
 
+    if args.cmd == "exp":
+        return _run_exp(args)
+
     parser.error(f"unknown command {args.cmd!r}")
     return 2
+
+
+def _run_exp(args) -> int:
+    """``repro-flow exp``: one table/figure through the batch engine."""
+    from ..circuit.experiments import (run_fig_sweep, run_table1,
+                                       run_table2, run_table3)
+    runner = _runner_from_args(args)
+    dt = args.dt
+
+    if args.what == "table1":
+        rows = run_table1(dt=dt or 1e-12, runner=runner)
+    elif args.what == "table2":
+        rows = run_table2(dt=dt or 1e-12, runner=runner)
+    elif args.what == "table3":
+        rows = run_table3(dt=dt or 1e-12, runner=runner)
+    else:
+        fig = "fig9" if args.what == "tristate" else args.what
+        switch = "tbuf" if args.what == "tristate" else "pass"
+        sweep = run_fig_sweep(fig, switch_type=switch,
+                              dt=dt or 2e-12, runner=runner)
+        rows = [{"wire_len": length, "width_x": m.width_mult,
+                 "energy_fJ": m.energy / 1e-15,
+                 "delay_ps": m.delay / 1e-12,
+                 "area_mwta": m.area, "EDA": m.eda}
+                for length, ms in sweep.items() for m in ms]
+
+    text = json.dumps(rows, indent=2)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    stats = runner.cache.stats()
+    print(f"# jobs={runner.jobs} cache hits={stats['hits']} "
+          f"misses={stats['misses']}", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":

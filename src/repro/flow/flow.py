@@ -24,6 +24,8 @@ DAGGER      :func:`repro.bitgen.bitstream.generate_bitstream`
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -31,6 +33,8 @@ from pathlib import Path
 from ..arch import (ArchParams, DEFAULT_ARCH, build_rr_graph,
                     generate_arch_file)
 from ..bitgen import generate_bitstream
+from ..exp import (NullCache, ResultCache, canonical_json,
+                   repro_code_version)
 from ..hdl.parser import check_syntax
 from ..hdl.synth import synthesize
 from ..netlist.blif import write_blif
@@ -58,6 +62,8 @@ class FlowOptions:
     gated_clock: bool = True
     f_clk_hz: float | None = None     # None -> run at fmax
     work_dir: str | None = None       # write artifacts here if set
+    use_cache: bool = True            # content-addressed stage cache
+    cache_dir: str | None = None      # None -> REPRO_CACHE_DIR default
 
 
 @dataclass
@@ -77,6 +83,7 @@ class FlowResult:
     power: PowerReport | None = None
     bitstream: bytes = b""
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    cache_hits: dict[str, bool] = field(default_factory=dict)
 
     def summary(self) -> dict[str, object]:
         """The QoR row the flow reports per circuit."""
@@ -118,6 +125,9 @@ class DesignFlow:
                       if self.options.work_dir else None)
         if self._work:
             self._work.mkdir(parents=True, exist_ok=True)
+        self._cache = (ResultCache(self.options.cache_dir)
+                       if self.options.use_cache else NullCache())
+        self._fp: str = ""   # running content fingerprint of the flow
 
     # -- helpers -------------------------------------------------------
     def _timed(self, stage: str, fn):
@@ -125,6 +135,42 @@ class DesignFlow:
         out = fn()
         self.result.stage_seconds[stage] = time.perf_counter() - t0
         return out
+
+    def _seed_fingerprint(self, tag: str, text: str) -> None:
+        """Anchor the stage-key chain on the input artifact's content."""
+        self._fp = hashlib.sha256(
+            f"{tag}\0{text}".encode()).hexdigest()
+
+    def _stage_key(self, stage: str, extra: tuple) -> str:
+        """Content-addressed key: input lineage + options + code."""
+        h = hashlib.sha256()
+        h.update(self._fp.encode())
+        h.update(b"\0")
+        h.update(stage.encode())
+        h.update(b"\0")
+        h.update(canonical_json(list(extra)).encode())
+        h.update(b"\0")
+        h.update(repro_code_version().encode())
+        return h.hexdigest()
+
+    def _cached_stage(self, stage: str, extra: tuple, compute):
+        """Run ``compute`` unless its output is already cached.
+
+        The key chains on the previous stage's key, so editing the
+        source, an option or any upstream artifact invalidates this
+        stage and everything after it, while a re-run with identical
+        inputs is a pure cache read.
+        """
+        key = self._stage_key(stage, extra)
+        self._fp = key
+        t0 = time.perf_counter()
+        hit, value = self._cache.get(key)
+        if not hit:
+            value = compute()
+            self._cache.put(key, value)
+        self.result.stage_seconds[stage] = time.perf_counter() - t0
+        self.result.cache_hits[stage] = hit
+        return value
 
     def _save(self, name: str, data: str | bytes) -> None:
         if self._work is None:
@@ -143,6 +189,7 @@ class DesignFlow:
         if not ok:
             raise ValueError(msg)
         self._vhdl = vhdl_text
+        self._seed_fingerprint("vhdl", vhdl_text)
         self._save("design.vhd", vhdl_text)
         return msg
 
@@ -150,12 +197,13 @@ class DesignFlow:
         """Stage 2: DIVINER + DRUID -> EDIF."""
         def run():
             raw = synthesize(self._vhdl)
-            self._save("diviner.edif", write_edif(raw))
             clean = druid(raw)
-            self._save("druid.edif", write_edif(clean, program="DRUID"))
-            return clean
-        self.result.structural = self._timed("synthesis", run)
-        self.result.name = self.result.structural.name
+            return write_edif(raw), clean
+        raw_edif, clean = self._cached_stage("synthesis", (), run)
+        self._save("diviner.edif", raw_edif)
+        self._save("druid.edif", write_edif(clean, program="DRUID"))
+        self.result.structural = clean
+        self.result.name = clean.name
 
     def translation(self) -> None:
         """Stage 3: E2FMT + SIS + T-VPack -> packed netlist."""
@@ -163,17 +211,19 @@ class DesignFlow:
 
         def run():
             logic = structural_to_logic(self.result.structural)
-            self._save("e2fmt.blif", write_blif(logic))
             mapped = optimize_and_map(logic, opts.arch.k)
-            self._save("sis_mapped.blif", write_blif(mapped.network))
             cn = pack_netlist(mapped.network, n=opts.arch.n,
                               i=opts.arch.inputs_per_clb,
                               k=opts.arch.k)
-            self._save("tvpack.net", write_net(cn))
-            self._save("dutys.arch", generate_arch_file(opts.arch))
             return logic, mapped.network, cn
+        logic, mapped_net, cn = self._cached_stage(
+            "translation", (opts.arch,), run)
+        self._save("e2fmt.blif", write_blif(logic))
+        self._save("sis_mapped.blif", write_blif(mapped_net))
+        self._save("tvpack.net", write_net(cn))
+        self._save("dutys.arch", generate_arch_file(opts.arch))
         (self.result.logic, self.result.mapped,
-         self.result.clustered) = self._timed("translation", run)
+         self.result.clustered) = logic, mapped_net, cn
 
     def place_and_route(self) -> None:
         """Stage 5: VPR placement + PathFinder routing."""
@@ -189,11 +239,14 @@ class DesignFlow:
                 rr = route(pl, g)
                 if not rr.success:
                     w, rr, g = route_min_channel_width(pl, opts.arch)
-            self._save("vpr.place", _format_place(pl))
-            self._save("vpr.route", _format_route(rr))
             return pl, rr, g
+        pl, rr, g = self._cached_stage(
+            "place_route",
+            (opts.seed, opts.place_effort, opts.min_channel_width), run)
+        self._save("vpr.place", _format_place(pl))
+        self._save("vpr.route", _format_route(rr))
         (self.result.placement, self.result.routing,
-         self.result.rr_graph) = self._timed("place_route", run)
+         self.result.rr_graph) = pl, rr, g
         self.result.timing = analyze_timing(
             self.result.clustered, self.result.placement,
             self.result.routing, self.result.rr_graph, opts.arch)
@@ -209,12 +262,10 @@ class DesignFlow:
                 self.result.placement, self.result.routing,
                 self.result.rr_graph, opts.arch, f_clk_hz=f,
                 gated_clock=opts.gated_clock)
-        self.result.power = self._timed("power", run)
-        if self._work:
-            import json
-            self._save("powermodel.json",
-                       __import__("json").dumps(self.result.power.stats(),
-                                                indent=2))
+        self.result.power = self._cached_stage(
+            "power", (opts.gated_clock, opts.f_clk_hz), run)
+        self._save("powermodel.json",
+                   json.dumps(self.result.power.stats(), indent=2))
 
     def program(self) -> bytes:
         """Stage 6: DAGGER bitstream generation (with readback check)."""
@@ -223,7 +274,7 @@ class DesignFlow:
                 self.result.mapped, self.result.clustered,
                 self.result.placement, self.result.routing,
                 self.result.rr_graph, self.options.arch)
-        self.result.bitstream = self._timed("bitstream", run)
+        self.result.bitstream = self._cached_stage("bitstream", (), run)
         self._save("design.bit", self.result.bitstream)
         return self.result.bitstream
 
@@ -252,11 +303,16 @@ def run_flow_from_logic(logic: LogicNetwork,
     opts = flow.options
     flow.result.name = logic.name
     flow.result.logic = logic
-    mapped = optimize_and_map(logic, opts.arch.k)
-    flow.result.mapped = mapped.network
-    flow.result.clustered = pack_netlist(
-        mapped.network, n=opts.arch.n, i=opts.arch.inputs_per_clb,
-        k=opts.arch.k)
+    flow._seed_fingerprint("blif", write_blif(logic))
+
+    def run():
+        mapped = optimize_and_map(logic, opts.arch.k)
+        cn = pack_netlist(mapped.network, n=opts.arch.n,
+                          i=opts.arch.inputs_per_clb, k=opts.arch.k)
+        return mapped.network, cn
+    (flow.result.mapped,
+     flow.result.clustered) = flow._cached_stage(
+        "translation", (opts.arch,), run)
     flow.place_and_route()
     flow.power_estimation()
     flow.program()

@@ -312,7 +312,9 @@ class _Synth:
             cond = self._condition(cond_expr)
             then_map = self._seq_branch(body, current)
             merged: dict[str, str] = {}
-            for net in set(then_map) | set(result):
+            # Sorted: mux synthesis allocates fresh gate names, so the
+            # iteration order must not depend on PYTHONHASHSEED.
+            for net in sorted(set(then_map) | set(result)):
                 # Hold = feed the register output back when a branch
                 # leaves the target unassigned.
                 v_then = then_map.get(net, current.get(net, net))

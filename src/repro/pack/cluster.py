@@ -107,7 +107,10 @@ class ClusteredNetlist:
                 driver[b.output] = c.name
         for c in self.clusters:
             internal = c.internal_outputs()
-            for netname in c.external_inputs():
+            # Sorted so net order (and everything downstream that ties
+            # on it, e.g. the routing order) is independent of
+            # PYTHONHASHSEED; external_inputs() is a set.
+            for netname in sorted(c.external_inputs()):
                 sinks.setdefault(netname, []).append(c.name)
         for po in self.outputs:
             sinks.setdefault(po, []).append(f"po:{po}")

@@ -193,9 +193,13 @@ def _try_move(rng, loc, occupant, free_sites, movable, grid_size, nets,
         target = rng.choice(pool)
 
     other = occupant.get(target.key())
-    affected = set(nets_of.get(block, ()))
+    affected_set = set(nets_of.get(block, ()))
     if other is not None:
-        affected |= set(nets_of.get(other, ()))
+        affected_set |= set(nets_of.get(other, ()))
+    # Sorted order so the float delta sums identically regardless of
+    # PYTHONHASHSEED; set order would make accept decisions (and thus
+    # the whole placement) vary between interpreter processes.
+    affected = sorted(affected_set)
 
     old = {n: net_cost[n] for n in affected}
 

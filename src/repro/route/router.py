@@ -99,8 +99,9 @@ def route(placement: Placement, g: RRGraph, *,
     trees: dict[str, RouteTree] = {}
     pres_fac = 0.5
 
-    # Route larger nets first (harder to route).
-    order = sorted(nets, key=lambda nm: -len(nets[nm]["sinks"]))
+    # Route larger nets first (harder to route); break sink-count ties
+    # by name so the schedule never depends on dict insertion order.
+    order = sorted(nets, key=lambda nm: (-len(nets[nm]["sinks"]), nm))
 
     for it in range(1, max_iterations + 1):
         for name in order:

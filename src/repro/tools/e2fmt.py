@@ -42,7 +42,7 @@ def structural_to_logic(net: StructuralNetlist) -> LogicNetwork:
         out.add_node(inst.pins[gt.output], fanins, list(gt.cover))
 
     # Clock nets must not appear as logic inputs; record them.
-    for clk in clocks:
+    for clk in sorted(clocks):  # stable clock order across hash seeds
         if clk in out.inputs:
             out.inputs.remove(clk)
         if clk not in out.clocks:

@@ -1,0 +1,224 @@
+"""Unit tests for the batch experiment engine (:mod:`repro.exp`).
+
+Covers the runner contract (deterministic ordering, timing and failure
+capture), cache behaviour (hit/miss accounting, warm-run speedup,
+atomic sharing between runners) and the determinism lock the engine
+rework must preserve: the design flow yields an identical bitstream
+and placement whether run serially or fanned out over a worker pool.
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.exp import (JobSpec, NullCache, ParallelRunner, ResultCache,
+                       canonical_json, default_runner)
+from repro.exp.tasks import execute, registered_kinds, task
+from repro.flow.flow import FlowOptions, run_flow
+from tests.test_flow import COUNTER_VHDL
+
+
+@task("_test_echo")
+def _echo(**params):
+    """Test-only kind: returns its own parameters (serial use only)."""
+    return dict(params)
+
+
+# ---------------------------------------------------------------------------
+# Job specs and keys
+# ---------------------------------------------------------------------------
+
+class TestJobSpec:
+    def test_known_kinds_registered(self):
+        assert {"detff", "clock_cell", "fig_point",
+                "flow"} <= set(registered_kinds())
+
+    def test_key_is_stable_and_param_order_free(self):
+        a = JobSpec.make("fig_point", width_mult=2.0, wire_length=4)
+        b = JobSpec(kind="fig_point",
+                    params={"wire_length": 4, "width_mult": 2.0})
+        assert a.key() == b.key()
+        assert len(a.key()) == 64
+
+    def test_key_changes_with_any_field(self):
+        base = JobSpec.make("fig_point", width_mult=2.0, wire_length=4)
+        keys = {
+            base.key(),
+            JobSpec.make("fig_point", width_mult=2.0,
+                         wire_length=8).key(),
+            JobSpec.make("fig_point", width_mult=2.5,
+                         wire_length=4).key(),
+            JobSpec.make("detff", width_mult=2.0, wire_length=4).key(),
+            base.key(code_version="other"),
+        }
+        assert len(keys) == 5
+
+    def test_canonical_rejects_arbitrary_objects(self):
+        with pytest.raises(TypeError):
+            canonical_json({"bad": object()})
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown job kind"):
+            execute(JobSpec.make("no_such_kind"))
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_put_get_roundtrip_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        hit, _ = cache.get(key)
+        assert not hit and cache.misses == 1
+        value = {"rows": [1.5, -0.25], "name": "x"}
+        cache.put(key, value)
+        hit, back = cache.get(key)
+        assert hit and back == value and cache.hits == 1
+        assert key in cache and len(cache) == 1
+        assert cache.clear() == 1 and key not in cache
+
+    @pytest.mark.parametrize("garbage", [b"not a pickle", b"garbage\n",
+                                         b"", b"\x80\x05"])
+    def test_corrupt_entry_is_a_miss(self, tmp_path, garbage):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.put(key, [1, 2, 3])
+        cache.path_for(key).write_bytes(garbage)
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_null_cache_never_stores(self, tmp_path):
+        cache = NullCache()
+        cache.put("ef" + "2" * 62, "value")
+        hit, _ = cache.get("ef" + "2" * 62)
+        assert not hit and len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+class TestParallelRunner:
+    def test_serial_echo_roundtrip(self, tmp_path):
+        runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        specs = [JobSpec.make("_test_echo", i=i) for i in range(5)]
+        values = runner.run_values(specs)
+        assert values == [{"i": i} for i in range(5)]
+
+    def test_parallel_results_keep_submission_order(self, tmp_path):
+        # Deliberately unsorted widths: results must come back in the
+        # order submitted, not the order workers finish.
+        widths = [4.0, 1.0, 2.0]
+        specs = [JobSpec.make("fig_point", width_mult=w, wire_length=1,
+                              dt=8e-12) for w in widths]
+        runner = ParallelRunner(jobs=4, cache=ResultCache(tmp_path))
+        results = runner.run(specs)
+        assert [r.value.width_mult for r in results] == widths
+        assert all(r.ok and not r.cached and r.seconds > 0
+                   for r in results)
+
+    def test_parallel_matches_serial_bit_for_bit(self, tmp_path):
+        specs = [JobSpec.make("fig_point", width_mult=w, wire_length=2,
+                              dt=8e-12) for w in (1.0, 4.0)]
+        serial = ParallelRunner(
+            jobs=1, cache=NullCache()).run_values(specs)
+        parallel = ParallelRunner(
+            jobs=4, cache=NullCache()).run_values(specs)
+        assert pickle.dumps(serial) == pickle.dumps(parallel)
+
+    def test_failure_captured_without_sinking_the_batch(self, tmp_path):
+        specs = [
+            JobSpec.make("fig_point", width_mult=1.0, wire_length=0),
+            JobSpec.make("fig_point", width_mult=1.0, wire_length=1,
+                         dt=8e-12),
+        ]
+        runner = ParallelRunner(jobs=4, cache=ResultCache(tmp_path))
+        bad, good = runner.run(specs)
+        assert not bad.ok and "wire_length" in bad.error
+        assert good.ok and good.value.wire_length == 1
+        with pytest.raises(RuntimeError, match="failed"):
+            runner.run_values(specs[:1])
+
+    def test_warm_cache_speedup(self, tmp_path):
+        specs = [JobSpec.make("fig_point", width_mult=w, wire_length=2,
+                              dt=8e-12) for w in (1.0, 2.0, 4.0)]
+        cache_dir = tmp_path / "cache"
+        t0 = time.perf_counter()
+        cold = ParallelRunner(
+            jobs=1, cache=ResultCache(cache_dir)).run(specs)
+        t_cold = time.perf_counter() - t0
+        warm_cache = ResultCache(cache_dir)
+        t0 = time.perf_counter()
+        warm = ParallelRunner(jobs=1, cache=warm_cache).run(specs)
+        t_warm = time.perf_counter() - t0
+        assert all(r.cached for r in warm)
+        assert warm_cache.hits == len(specs)
+        assert pickle.dumps([r.value for r in cold]) == \
+            pickle.dumps([r.value for r in warm])
+        assert t_cold / t_warm >= 10.0
+
+    def test_default_runner_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        runner = default_runner()
+        assert runner.jobs == 3
+        assert isinstance(runner.cache, NullCache)
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        assert not isinstance(default_runner().cache, NullCache)
+
+
+# ---------------------------------------------------------------------------
+# Determinism: serial flow == flow fanned over the pool
+# ---------------------------------------------------------------------------
+
+class TestFlowDeterminism:
+    def test_same_seed_identical_bitstream_serial_vs_jobs4(self):
+        serial = run_flow(COUNTER_VHDL,
+                          FlowOptions(seed=1, use_cache=False))
+        specs = [JobSpec.make("flow", vhdl=COUNTER_VHDL, seed=1,
+                              use_cache=False) for _ in range(4)]
+        runner = ParallelRunner(jobs=4, cache=NullCache())
+        for out in runner.run_values(specs):
+            assert out["bitstream"] == serial.bitstream
+            assert out["placement"] == {
+                b: (s.x, s.y, s.sub)
+                for b, s in serial.placement.loc.items()}
+
+    def test_different_seed_changes_placement(self):
+        a = run_flow(COUNTER_VHDL, FlowOptions(seed=1, use_cache=False))
+        b = run_flow(COUNTER_VHDL, FlowOptions(seed=7, use_cache=False))
+        assert a.placement.loc != b.placement.loc
+
+    def test_flow_independent_of_hash_seed(self, tmp_path):
+        # Cached results are shared across interpreter sessions, so the
+        # flow must not depend on PYTHONHASHSEED (set/dict iteration
+        # order).  Run it in subprocesses with different hash seeds and
+        # require identical bitstream + placement digests.
+        import os
+        import subprocess
+        import sys
+        script = tmp_path / "probe.py"
+        script.write_text(
+            "import hashlib, sys\n"
+            "sys.path.insert(0, sys.argv[1])\n"
+            "from repro.flow.flow import FlowOptions, run_flow\n"
+            "from tests.test_flow import COUNTER_VHDL\n"
+            "res = run_flow(COUNTER_VHDL,"
+            " FlowOptions(seed=1, use_cache=False))\n"
+            "h = hashlib.sha256(res.bitstream)\n"
+            "h.update(repr(sorted((b, s.x, s.y, s.sub)\n"
+            "    for b, s in res.placement.loc.items())).encode())\n"
+            "print(h.hexdigest())\n")
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digests = set()
+        for hash_seed in ("0", "1"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed,
+                       PYTHONPATH=os.path.join(repo, "src"))
+            out = subprocess.run(
+                [sys.executable, str(script), repo],
+                capture_output=True, text=True, env=env, check=True)
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1

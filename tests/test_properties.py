@@ -5,13 +5,18 @@ cases: format round-trips, minimisation semantics, mapping equivalence,
 packing legality, bitstream codec identity.
 """
 
+import pickle
 import random
+import tempfile
 
 import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.arch import ArchParams, generate_arch_file, parse_arch_file
 from repro.bench import random_logic
+from repro.circuit.technology import STM018
+from repro.exp import JobSpec, ParallelRunner, ResultCache
+from repro.exp.tasks import task
 from repro.netlist.blif import parse_blif, write_blif
 from repro.netlist.logic import Cube, LogicNetwork
 from repro.pack import pack_netlist
@@ -147,6 +152,86 @@ class TestArchFileProperties:
         assert (b.n, b.k, b.channel_width) == (n, k, w)
         assert b.switch_width_mult == sw
         assert b.inputs_per_clb == a.inputs_per_clb
+
+
+# ---------------------------------------------------------------------------
+# Experiment-engine result cache
+# ---------------------------------------------------------------------------
+
+@task("_prop_echo")
+def _prop_echo(**params):
+    """Test-only job kind: its result is its own parameter dict."""
+    return dict(params)
+
+
+#: JSON-safe scalars as they appear in experiment row dicts.
+_scalars = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.integers(-10 ** 9, 10 ** 9),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+)
+
+_row_dicts = st.lists(
+    st.dictionaries(st.text(min_size=1, max_size=10), _scalars,
+                    max_size=5),
+    max_size=5)
+
+_spec_params = st.dictionaries(
+    st.text(alphabet="abcdefghij_", min_size=1, max_size=8),
+    _scalars, max_size=5)
+
+
+class TestCacheProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(_spec_params)
+    def test_same_spec_same_key(self, params):
+        a = JobSpec.make("fig_point", tech=STM018, **params)
+        b = JobSpec.make("fig_point", tech=STM018, **params)
+        assert a.key() == b.key()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=1e-6, max_value=0.5,
+                     allow_nan=False))
+    def test_perturbed_technology_param_misses(self, eps):
+        base = JobSpec.make("fig_point", width_mult=2.0, tech=STM018)
+        perturbed = JobSpec.make(
+            "fig_point", width_mult=2.0,
+            tech=STM018.scaled(vdd=STM018.vdd * (1.0 + eps)))
+        assert base.key() != perturbed.key()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=1e-9, max_value=100.0,
+                     allow_nan=False))
+    def test_perturbed_spec_field_misses(self, delta):
+        base = JobSpec.make("fig_point", width_mult=2.0, wire_length=4)
+        moved = JobSpec.make("fig_point", width_mult=2.0 + delta,
+                             wire_length=4)
+        assert base.key() != moved.key()
+
+    @settings(max_examples=25, deadline=None)
+    @given(_spec_params)
+    def test_same_spec_hits_with_bit_identical_result(self, params):
+        spec = JobSpec.make("_prop_echo", **params)
+        with tempfile.TemporaryDirectory() as d:
+            runner = ParallelRunner(jobs=1, cache=ResultCache(d))
+            first, = runner.run([spec])
+            second, = runner.run([spec])
+            assert not first.cached and second.cached
+            assert pickle.dumps(first.value) == pickle.dumps(
+                second.value)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_row_dicts)
+    def test_disk_roundtrip_preserves_row_dicts(self, rows):
+        spec = JobSpec.make("_prop_echo", n=len(rows))
+        key = spec.key()
+        with tempfile.TemporaryDirectory() as d:
+            ResultCache(d).put(key, rows)
+            hit, back = ResultCache(d).get(key)
+        assert hit
+        assert pickle.dumps(back) == pickle.dumps(rows)
 
 
 # ---------------------------------------------------------------------------
