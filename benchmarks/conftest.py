@@ -44,6 +44,7 @@ def pytest_addoption(parser):
 
     ``--repro-jobs N``     fan independent measurements over N workers
     ``--repro-no-cache``   recompute instead of reading the result cache
+    ``--repro-trace F``    write the session's span trace to F (JSONL)
 
     They are exported as ``REPRO_JOBS`` / ``REPRO_NO_CACHE`` so every
     driver that defers to :func:`repro.exp.default_runner` obeys them.
@@ -53,6 +54,9 @@ def pytest_addoption(parser):
                           "(0 = all cores)")
     parser.addoption("--repro-no-cache", action="store_true",
                      help="disable the content-addressed result cache")
+    parser.addoption("--repro-trace", default=None, metavar="JSONL",
+                     help="write the span trace of the whole benchmark "
+                          "session here (view with 'repro-flow trace')")
 
 
 def pytest_configure(config):
@@ -62,3 +66,11 @@ def pytest_configure(config):
         os.environ["REPRO_JOBS"] = str(jobs)
     if config.getoption("--repro-no-cache"):
         os.environ["REPRO_NO_CACHE"] = "1"
+
+
+def pytest_unconfigure(config):
+    path = config.getoption("--repro-trace", default=None)
+    if path:
+        from repro import obs
+        n = obs.default_tracer().write_jsonl(path)
+        print(f"\nwrote {n} spans to {path}")

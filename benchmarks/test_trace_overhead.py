@@ -1,0 +1,62 @@
+"""Tracing overhead budget: spans must cost < 5% of flow wall time.
+
+The instrumentation contract (see ``repro.obs``) is that hot loops
+never touch the tracer, so a fully traced flow run should be
+indistinguishable from an untraced one.  This bench runs the same
+uncached flow repeatedly with tracing enabled and disabled,
+alternating which arm goes first so clock/cache drift cancels, and
+compares the per-arm minima (the standard low-noise estimator: the
+minimum is the run least disturbed by the machine).
+"""
+
+import time
+
+from conftest import save_results
+from repro import obs
+from repro.bench import mcnc_class_suite
+from repro.flow import FlowOptions
+from repro.flow.flow import run_flow_from_logic
+
+ROUNDS = 7
+MAX_OVERHEAD = 1.05
+
+
+def _one_run(nets) -> float:
+    t0 = time.perf_counter()
+    for net in nets:
+        run_flow_from_logic(net, FlowOptions(seed=1, use_cache=False))
+    return time.perf_counter() - t0
+
+
+def test_trace_overhead_under_five_percent():
+    # A few seconds of flow work per sample, so scheduler jitter is
+    # small relative to what is being measured.
+    nets = mcnc_class_suite()[:3]
+    _one_run(nets)  # warm imports and allocator before timing
+
+    def timed(enabled: bool) -> float:
+        obs.set_enabled(enabled)
+        with obs.capture() as tr:
+            seconds = _one_run(nets)
+        assert bool(len(tr)) == enabled
+        return seconds
+
+    traced, untraced = [], []
+    try:
+        for i in range(ROUNDS):
+            first_enabled = i % 2 == 0
+            for enabled in (first_enabled, not first_enabled):
+                (traced if enabled else untraced).append(timed(enabled))
+    finally:
+        obs.set_enabled(True)
+
+    ratio = min(traced) / min(untraced)
+    save_results("trace_overhead", {
+        "traced_s": traced, "untraced_s": untraced,
+        "min_ratio": round(ratio, 4)})
+    print(f"\ntraced min   {min(traced):.3f}s\n"
+          f"untraced min {min(untraced):.3f}s\n"
+          f"ratio        {ratio:.3f}")
+    assert ratio < MAX_OVERHEAD, (
+        f"tracing overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"{100 * (MAX_OVERHEAD - 1):.0f}% budget")

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..exp import JobSpec, ParallelRunner, default_runner
 from .clockgate import GatedClockSetup, build_ble_clock, build_clb_clock
 from .flipflops import DETFF_VARIANTS
@@ -90,12 +91,13 @@ def characterize_detff(name: str, *, tech: Technology = STM018,
     }
 
 
-def _values(specs: list[JobSpec],
-            runner: ParallelRunner | None) -> list:
+def _values(specs: list[JobSpec], runner: ParallelRunner | None,
+            driver: str) -> list:
     """Submit through the engine (env-configured default if none)."""
     if runner is None:
         runner = default_runner()
-    return runner.run_values(specs)
+    with obs.span(f"exp.{driver}", n_specs=len(specs)):
+        return runner.run_values(specs)
 
 
 def run_table1(*, tech: Technology = STM018, dt: float = 1e-12,
@@ -104,7 +106,7 @@ def run_table1(*, tech: Technology = STM018, dt: float = 1e-12,
     """Table 1: all five DETFF candidates, in the paper's row order."""
     specs = [JobSpec.make("detff", name=name, tech=tech, dt=dt)
              for name in DETFF_VARIANTS]
-    return _values(specs, runner)
+    return _values(specs, runner, "table1")
 
 
 def _cycle_energy(setup: GatedClockSetup, dt: float) -> float:
@@ -128,7 +130,7 @@ def run_table2(*, dt: float = 1e-12,
         JobSpec.make("clock_cell", level="ble", gated=True, enable=0,
                      data_active=False, dt=dt),
     ]
-    e_single, e_gate1, e_gate0 = _values(specs, runner)
+    e_single, e_gate1, e_gate0 = _values(specs, runner, "table2")
     return {
         "single_fJ": e_single / 1e-15,
         "gated_en1_fJ": e_gate1 / 1e-15,
@@ -146,7 +148,7 @@ def run_table3(*, dt: float = 1e-12,
     specs = [JobSpec.make("clock_cell", level="clb", gated=gated,
                           n_on=n_on, dt=dt)
              for _, n_on in conditions for gated in (False, True)]
-    energies = iter(_values(specs, runner))
+    energies = iter(_values(specs, runner, "table3"))
     rows = []
     for label, n_on in conditions:
         e_single = next(energies)
@@ -204,6 +206,6 @@ def run_fig_sweep(fig: str, *, widths: list[float] | None = None,
                           switch_type=switch_type, tech=tech, dt=dt,
                           **cfg)
              for length in wire_lengths for w in widths]
-    values = iter(_values(specs, runner))
+    values = iter(_values(specs, runner, fig))
     return {length: [next(values) for _ in widths]
             for length in wire_lengths}

@@ -1,11 +1,13 @@
 """repro.exp -- the batch experiment engine.
 
 Fans independent experiment jobs (sweep points, flip-flop variants,
-whole-flow benchmark circuits) over a ``multiprocessing`` pool with
-deterministic result ordering, per-job timing and failure capture, and
-a content-addressed on-disk result cache (key = SHA-256 of job spec +
-technology parameters + code version) so re-runs and partial sweeps
-hit cache instead of re-simulating.
+whole-flow benchmark circuits) over isolated worker processes with
+deterministic result ordering, per-job timing, structured failure
+capture (:class:`JobError` distinguishes task errors from timeouts and
+worker crashes), per-job ``timeout_s``/``retries`` with exponential
+backoff, and a content-addressed on-disk result cache (key = SHA-256
+of job spec + technology parameters + code version) so re-runs and
+interrupted sweeps resume from cache instead of re-simulating.
 
 Typical use::
 
@@ -18,15 +20,18 @@ Typical use::
 
 Every experiment driver in :mod:`repro.circuit.experiments` accepts a
 ``runner=`` argument; with none given they consult ``REPRO_JOBS`` /
-``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` via :func:`default_runner`.
+``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` / ``REPRO_JOB_TIMEOUT`` via
+:func:`default_runner`.
 """
 
 from .cache import NullCache, ResultCache, default_cache_dir
 from .jobspec import JobSpec, canonical, canonical_json, repro_code_version
-from .runner import JobResult, ParallelRunner, default_runner
+from .runner import (JobError, JobFailedError, JobResult, ParallelRunner,
+                     default_runner)
 
 __all__ = [
-    "JobSpec", "JobResult", "ParallelRunner", "default_runner",
+    "JobSpec", "JobResult", "JobError", "JobFailedError",
+    "ParallelRunner", "default_runner",
     "ResultCache", "NullCache", "default_cache_dir",
     "canonical", "canonical_json", "repro_code_version",
 ]

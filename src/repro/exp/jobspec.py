@@ -77,14 +77,25 @@ def repro_code_version() -> str:
 
 @dataclass
 class JobSpec:
-    """One unit of work: a registered task kind plus its parameters."""
+    """One unit of work: a registered task kind plus its parameters.
+
+    ``timeout_s`` and ``retries`` are *execution policy*, not identity:
+    they control how the engine runs the job (kill it after a deadline,
+    re-run it with exponential backoff on failure) and are deliberately
+    excluded from the cache key -- the same work with a different
+    timeout is still the same work.
+    """
 
     kind: str
     params: dict[str, Any] = field(default_factory=dict)
+    timeout_s: float | None = None
+    retries: int = 0
 
     @classmethod
-    def make(cls, kind: str, **params: Any) -> "JobSpec":
-        return cls(kind=kind, params=params)
+    def make(cls, kind: str, *, timeout_s: float | None = None,
+             retries: int = 0, **params: Any) -> "JobSpec":
+        return cls(kind=kind, params=params, timeout_s=timeout_s,
+                   retries=retries)
 
     def canonical_json(self) -> str:
         return canonical_json({"kind": self.kind, "params": self.params})

@@ -1,15 +1,34 @@
-"""The batch experiment engine: fan jobs over a process pool.
+"""The batch experiment engine: fan jobs over worker processes.
 
 :class:`ParallelRunner` takes a list of :class:`~repro.exp.jobspec.JobSpec`
 and returns one :class:`JobResult` per spec **in submission order**,
 regardless of how many worker processes computed them or in which order
-they finished.  Each result carries wall-clock seconds, a cached flag
-and, for failed jobs, the full worker traceback -- one bad sweep point
-does not take down the batch.
+they finished.  Each result carries wall-clock seconds, a cached flag,
+the attempt count and, for failed jobs, a structured :class:`JobError`
+(exception type, message, traceback, and whether the failure was a task
+error, a timeout or a worker crash) -- one bad sweep point never takes
+down the batch.
 
+Fault tolerance
+---------------
+Every job runs in its **own** worker process (forked fresh, daemonic),
+so a worker that is killed, OOMs or calls ``os._exit`` yields a failed
+``JobResult`` with ``error.kind == "crash"`` instead of hanging or
+poisoning a shared pool.  A per-job ``timeout_s`` (on the spec, on the
+runner, or via ``REPRO_JOB_TIMEOUT``) terminates overdue workers and
+reports ``error.kind == "timeout"``.  ``JobSpec.retries`` re-runs a
+failed job with exponential backoff before giving up.
+
+Checkpointing
+-------------
 Cache lookups happen in the parent before any work is dispatched, so a
-warm cache never spawns a pool at all; completed results are written
-back so partial sweeps resume where they left off.
+warm cache never spawns a worker at all; each completed result is
+written back **as it finishes**, so an interrupted sweep resumes from
+the cache on the next run instead of recomputing finished points.
+
+Every batch and job is traced through :mod:`repro.obs`: the parent
+records ``exp.batch`` / ``exp.job`` spans and grafts the spans each
+worker produced (flow stages, annealing, routing) under its job.
 """
 
 from __future__ import annotations
@@ -17,20 +36,64 @@ from __future__ import annotations
 import os
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from .. import obs
 from .cache import NullCache, ResultCache
 from .jobspec import JobSpec
 
-__all__ = ["JobResult", "ParallelRunner", "default_runner"]
+__all__ = ["JobError", "JobFailedError", "JobResult", "ParallelRunner",
+           "default_runner"]
 
 #: Environment knobs honoured by :func:`default_runner` (and therefore
 #: by every experiment driver that does not pass an explicit runner).
 ENV_JOBS = "REPRO_JOBS"
 ENV_NO_CACHE = "REPRO_NO_CACHE"
+ENV_JOB_TIMEOUT = "REPRO_JOB_TIMEOUT"
 
 _TRUTHY = ("1", "true", "yes", "on")
+
+
+@dataclass(frozen=True)
+class JobError:
+    """Structured failure record: what failed, and how.
+
+    ``kind`` distinguishes the three failure classes callers react to
+    differently: ``"error"`` (the task raised), ``"timeout"`` (the
+    worker exceeded its deadline and was terminated) and ``"crash"``
+    (the worker process died without reporting -- killed, OOM'd or
+    ``os._exit``).
+    """
+
+    exc_type: str
+    message: str
+    traceback: str = ""
+    kind: str = "error"
+
+    def __str__(self) -> str:
+        return self.traceback or f"{self.exc_type}: {self.message}"
+
+    @property
+    def is_timeout(self) -> bool:
+        return self.kind == "timeout"
+
+    @property
+    def is_crash(self) -> bool:
+        return self.kind == "crash"
+
+
+class JobFailedError(RuntimeError):
+    """Raised by :meth:`JobResult.unwrap`; carries the failed result."""
+
+    def __init__(self, result: "JobResult"):
+        self.result = result
+        self.error = result.error
+        super().__init__(
+            f"job {result.spec} failed after {result.attempts} "
+            f"attempt(s) [{result.error.kind}: "
+            f"{result.error.exc_type}]:\n{result.error}")
 
 
 @dataclass
@@ -42,7 +105,8 @@ class JobResult:
     value: Any = None
     seconds: float = 0.0
     cached: bool = False
-    error: str | None = None
+    error: JobError | None = None
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -50,36 +114,89 @@ class JobResult:
 
     def unwrap(self) -> Any:
         if self.error is not None:
-            raise RuntimeError(
-                f"job {self.spec} failed:\n{self.error}")
+            raise JobFailedError(self)
         return self.value
 
 
-def _execute_spec(spec: JobSpec) -> tuple[Any, float, str | None]:
-    """Run one job; never raises (top-level so pools can pickle it)."""
+def _execute_spec(spec: JobSpec) -> tuple[Any, float, JobError | None]:
+    """Run one job; never raises (top-level so workers can pickle it)."""
     from . import tasks  # late import: breaks import cycles, and under
     # spawn it (re)populates the registry inside the worker process
     t0 = time.perf_counter()
     try:
         value = tasks.execute(spec)
         return value, time.perf_counter() - t0, None
-    except Exception:
-        return None, time.perf_counter() - t0, traceback.format_exc()
+    except Exception as exc:
+        err = JobError(exc_type=type(exc).__name__, message=str(exc),
+                       traceback=traceback.format_exc())
+        return None, time.perf_counter() - t0, err
+
+
+def _worker_main(conn, spec: JobSpec) -> None:
+    """Child entry point: execute, then report result + trace records."""
+    tr = obs.Tracer()
+    with obs.capture(tr):
+        value, seconds, err = _execute_spec(spec)
+    try:
+        try:
+            conn.send((value, seconds, err, tr.export()))
+        except Exception as exc:
+            # The value itself would not pickle: report that as a task
+            # error rather than dying silently (which would look like a
+            # crash to the parent).
+            err = JobError(exc_type=type(exc).__name__,
+                           message=f"job result not picklable: {exc}",
+                           traceback=traceback.format_exc())
+            conn.send((None, seconds, err, tr.export()))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Pending:
+    """A job attempt waiting for a worker slot."""
+
+    index: int
+    attempt: int
+    ready_at: float     # monotonic time before which it must not start
+
+
+@dataclass
+class _Active:
+    """A job attempt currently running in a worker process."""
+
+    index: int
+    attempt: int
+    proc: Any
+    conn: Any
+    started: float
+    deadline: float | None
 
 
 class ParallelRunner:
-    """Run independent jobs over ``multiprocessing`` with result caching.
+    """Run independent jobs over worker processes with result caching.
 
-    ``jobs``          worker processes; ``<= 0`` means ``os.cpu_count()``.
+    ``jobs``          concurrent workers; ``<= 0`` means ``os.cpu_count()``.
     ``cache``         a :class:`ResultCache` to share, or ``None`` to build
                       one from ``use_cache`` (``NullCache`` when false).
     ``code_version``  override the package digest in cache keys (tests).
+    ``timeout_s``     default per-job timeout for specs that set none;
+                      ``None`` means unlimited.
+    ``backoff_s``     base of the exponential retry backoff: attempt
+                      ``n`` waits ``backoff_s * 2**(n-1)`` before
+                      re-running.
+
+    Execution is inline (in-process) only when ``jobs == 1`` and no job
+    has a timeout; otherwise each job gets its own short-lived worker
+    process so crashes and timeouts stay isolated.
     """
 
     def __init__(self, jobs: int = 1, *,
                  cache: ResultCache | None = None,
                  use_cache: bool = True,
-                 code_version: str | None = None):
+                 code_version: str | None = None,
+                 timeout_s: float | None = None,
+                 backoff_s: float = 0.25):
         if jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
@@ -87,6 +204,8 @@ class ParallelRunner:
             cache = ResultCache() if use_cache else NullCache()
         self.cache = cache
         self.code_version = code_version
+        self.timeout_s = timeout_s
+        self.backoff_s = backoff_s
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> list[JobResult]:
@@ -94,48 +213,213 @@ class ParallelRunner:
         keys = [spec.key(self.code_version) for spec in specs]
         results: list[JobResult | None] = [None] * len(specs)
 
-        pending: list[int] = []
-        for i, (spec, key) in enumerate(zip(specs, keys)):
-            hit, value = self.cache.get(key)
-            if hit:
-                results[i] = JobResult(spec=spec, key=key, value=value,
-                                       cached=True)
-            else:
-                pending.append(i)
+        with obs.span("exp.batch", n_jobs=len(specs),
+                      workers=self.jobs) as bsp:
+            pending: list[int] = []
+            for i, (spec, key) in enumerate(zip(specs, keys)):
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[i] = JobResult(spec=spec, key=key,
+                                           value=value, cached=True)
+                    obs.emit("exp.job", kind=spec.kind, cached=True,
+                             outcome="cached")
+                else:
+                    pending.append(i)
 
-        if pending:
-            todo = [specs[i] for i in pending]
-            if self.jobs > 1 and len(todo) > 1:
-                import multiprocessing as mp
-                procs = min(self.jobs, len(todo))
-                with mp.Pool(processes=procs) as pool:
-                    outs = pool.map(_execute_spec, todo, chunksize=1)
-            else:
-                outs = [_execute_spec(spec) for spec in todo]
-            for i, (value, seconds, error) in zip(pending, outs):
-                results[i] = JobResult(spec=specs[i], key=keys[i],
-                                       value=value, seconds=seconds,
-                                       error=error)
-                if error is None:
-                    self.cache.put(keys[i], value)
+            if pending:
+                inline = (self.jobs == 1
+                          and all(self._timeout_for(specs[i]) is None
+                                  for i in pending))
+                if inline:
+                    for i in pending:
+                        results[i] = self._run_inline(specs[i], keys[i])
+                else:
+                    self._run_pool(specs, keys, results, pending)
 
+            bsp.set_attr(
+                cache_hits=len(specs) - len(pending),
+                failures=sum(1 for r in results
+                             if r is not None and not r.ok))
         return results  # type: ignore[return-value]
 
     def run_values(self, specs: Sequence[JobSpec]) -> list[Any]:
         """Like :meth:`run` but unwraps values, raising on any failure."""
         return [r.unwrap() for r in self.run(specs)]
 
+    # -- policy helpers -------------------------------------------------
+    def _timeout_for(self, spec: JobSpec) -> float | None:
+        return spec.timeout_s if spec.timeout_s is not None \
+            else self.timeout_s
+
+    def _backoff(self, failed_attempt: int) -> float:
+        return self.backoff_s * (2 ** (failed_attempt - 1))
+
+    # -- inline path (serial, no timeouts) ------------------------------
+    def _run_inline(self, spec: JobSpec, key: str) -> JobResult:
+        attempt = 0
+        while True:
+            attempt += 1
+            with obs.span("exp.job", kind=spec.kind,
+                          attempt=attempt) as sp:
+                value, seconds, err = _execute_spec(spec)
+                sp.set_attr(outcome="ok" if err is None else err.kind)
+            if err is None or attempt > spec.retries:
+                break
+            time.sleep(self._backoff(attempt))
+        if err is None:
+            self.cache.put(key, value)
+        return JobResult(spec=spec, key=key, value=value,
+                         seconds=seconds, error=err, attempts=attempt)
+
+    # -- pooled path (process-per-job scheduler) ------------------------
+    def _run_pool(self, specs: Sequence[JobSpec], keys: Sequence[str],
+                  results: list[JobResult | None],
+                  pending_idx: list[int]) -> None:
+        import multiprocessing as mp
+        from multiprocessing.connection import wait as conn_wait
+
+        ctx = mp.get_context()
+        queue: deque[_Pending] = deque(
+            _Pending(i, 1, 0.0) for i in pending_idx)
+        active: list[_Active] = []
+
+        def launch(item: _Pending) -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_worker_main,
+                               args=(child_conn, specs[item.index]),
+                               daemon=True)
+            proc.start()
+            child_conn.close()
+            now = time.monotonic()
+            t = self._timeout_for(specs[item.index])
+            active.append(_Active(item.index, item.attempt, proc,
+                                  parent_conn, now,
+                                  now + t if t is not None else None))
+
+        def finalize(index: int, attempt: int, value: Any,
+                     seconds: float, err: JobError | None,
+                     spans: list | None = None) -> None:
+            spec = specs[index]
+            if err is not None and attempt <= spec.retries:
+                obs.emit("exp.job", seconds=seconds, kind=spec.kind,
+                         attempt=attempt, outcome=f"retry:{err.kind}")
+                queue.append(_Pending(
+                    index, attempt + 1,
+                    time.monotonic() + self._backoff(attempt)))
+                return
+            results[index] = JobResult(
+                spec=spec, key=keys[index], value=value,
+                seconds=seconds, error=err, attempts=attempt)
+            job_id = obs.emit(
+                "exp.job", seconds=seconds, kind=spec.kind,
+                attempt=attempt,
+                outcome="ok" if err is None else err.kind)
+            if spans:
+                obs.adopt(spans, parent_id=job_id)
+            if err is None:
+                self.cache.put(keys[index], value)
+
+        def stop_proc(proc) -> None:
+            proc.terminate()
+            proc.join(1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+
+        def reap(a: _Active, *, timed_out: bool = False) -> None:
+            active.remove(a)
+            elapsed = time.monotonic() - a.started
+            if timed_out:
+                stop_proc(a.proc)
+                a.conn.close()
+                t = self._timeout_for(specs[a.index])
+                err = JobError(exc_type="TimeoutError",
+                               message=f"job exceeded timeout of {t}s",
+                               kind="timeout")
+                finalize(a.index, a.attempt, None, elapsed, err)
+                return
+            try:
+                payload = a.conn.recv()
+            except (EOFError, OSError):
+                payload = None
+            a.conn.close()
+            a.proc.join(5.0)
+            if a.proc.is_alive():
+                stop_proc(a.proc)
+            if payload is None:
+                # Worker died without reporting: killed, OOM'd,
+                # os._exit, or an interpreter-level fault.
+                err = JobError(
+                    exc_type="WorkerCrashed",
+                    message=(f"worker exited with code "
+                             f"{a.proc.exitcode} before returning "
+                             f"a result"),
+                    kind="crash")
+                finalize(a.index, a.attempt, None, elapsed, err)
+            else:
+                value, seconds, err, spans = payload
+                finalize(a.index, a.attempt, value, seconds, err, spans)
+
+        try:
+            while queue or active:
+                now = time.monotonic()
+                if len(active) < self.jobs and queue:
+                    ready = [p for p in queue if p.ready_at <= now]
+                    while ready and len(active) < self.jobs:
+                        item = ready.pop(0)
+                        queue.remove(item)
+                        launch(item)
+                if not active:
+                    # Only backoff-delayed retries remain: sleep until
+                    # the soonest becomes ready.
+                    wake = min(p.ready_at for p in queue)
+                    time.sleep(max(0.0, min(wake - time.monotonic(),
+                                            0.25)))
+                    continue
+                waits = [a.deadline - now for a in active
+                         if a.deadline is not None]
+                waits += [p.ready_at - now for p in queue
+                          if p.ready_at > now]
+                timeout = max(0.0, min(waits)) if waits else None
+                ready_conns = conn_wait([a.conn for a in active],
+                                        timeout)
+                for a in [x for x in active if x.conn in ready_conns]:
+                    reap(a)
+                now = time.monotonic()
+                for a in [x for x in active
+                          if x.deadline is not None
+                          and x.deadline <= now]:
+                    reap(a, timed_out=True)
+        finally:
+            # On interruption never leave orphan workers behind.
+            for a in active:
+                stop_proc(a.proc)
+                a.conn.close()
+
 
 def default_runner() -> ParallelRunner:
     """Runner configured from the environment.
 
-    ``REPRO_JOBS``      worker count (default 1; ``0`` = all cores)
-    ``REPRO_NO_CACHE``  truthy disables the result cache
-    ``REPRO_CACHE_DIR`` relocates the cache (see :mod:`repro.exp.cache`)
+    ``REPRO_JOBS``         worker count (default 1; ``0`` = all cores)
+    ``REPRO_NO_CACHE``     truthy disables the result cache
+    ``REPRO_CACHE_DIR``    relocates the cache (see :mod:`repro.exp.cache`)
+    ``REPRO_JOB_TIMEOUT``  default per-job timeout in seconds (unset,
+                           empty or invalid means no timeout)
+
+    Invalid values fall back to the defaults rather than raising, so a
+    stray environment variable can never break a batch.
     """
     try:
         jobs = int(os.environ.get(ENV_JOBS, "1"))
     except ValueError:
         jobs = 1
     no_cache = os.environ.get(ENV_NO_CACHE, "").lower() in _TRUTHY
-    return ParallelRunner(jobs=jobs, use_cache=not no_cache)
+    timeout_s: float | None
+    try:
+        timeout_s = float(os.environ[ENV_JOB_TIMEOUT])
+    except (KeyError, ValueError):
+        timeout_s = None
+    if timeout_s is not None and timeout_s <= 0:
+        timeout_s = None
+    return ParallelRunner(jobs=jobs, use_cache=not no_cache,
+                          timeout_s=timeout_s)

@@ -14,22 +14,31 @@ standalone program as well as part of a complete design framework":
     repro-flow flow      design.vhd --workdir out/ [--html gui.html]
     repro-flow exp       table1|table2|table3|fig8|fig9|fig10|tristate
                          [--jobs 4] [--no-cache] [-o rows.json]
+    repro-flow trace     run.jsonl     (render a recorded span tree)
+    repro-flow stats     run.jsonl     (per-stage aggregate table)
 
 ``vpr``/``flow`` cache every stage output content-addressed (input
 hash + options + code version); ``exp`` fans the independent
 measurements of one table/figure over a worker pool with the same
 cache.  ``--no-cache`` forces recomputation, ``--cache-dir`` (or
 ``REPRO_CACHE_DIR``) relocates the store.
+
+``vpr``/``flow``/``exp`` also accept ``--trace run.jsonl`` (default
+from ``REPRO_TRACE``): the run records a span per stage/job -- wall
+time, cache hit/miss, QoR numbers -- which ``trace`` and ``stats``
+render afterwards.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import replace
 from pathlib import Path
 
+from .. import obs
 from ..arch import ArchParams, DEFAULT_ARCH, generate_arch_file, \
     load_arch_file
 from ..exp import NullCache, ParallelRunner, ResultCache
@@ -55,10 +64,18 @@ def _add_cache_args(p) -> None:
                         "~/.cache/repro-exp)")
 
 
+def _add_trace_arg(p) -> None:
+    p.add_argument("--trace", default=None, metavar="JSONL",
+                   help="record a span trace of the run here (default "
+                        "$REPRO_TRACE; inspect with 'repro-flow trace' "
+                        "/ 'stats')")
+
+
 def _runner_from_args(args) -> ParallelRunner:
     cache = (NullCache() if args.no_cache
              else ResultCache(args.cache_dir))
-    return ParallelRunner(jobs=getattr(args, "jobs", 1), cache=cache)
+    return ParallelRunner(jobs=getattr(args, "jobs", 1), cache=cache,
+                          timeout_s=getattr(args, "job_timeout", None))
 
 
 def _arch_from_args(args) -> ArchParams:
@@ -119,6 +136,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--min-channel-width", action="store_true")
     _add_cache_args(p)
+    _add_trace_arg(p)
 
     p = sub.add_parser("flow", help="run the complete VHDL-to-bitstream "
                                     "flow")
@@ -129,6 +147,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--html", default=None,
                    help="write the GUI page here")
     _add_cache_args(p)
+    _add_trace_arg(p)
 
     p = sub.add_parser("exp", help="run a batch experiment (table or "
                                    "figure) through the engine")
@@ -138,11 +157,43 @@ def main(argv: list[str] | None = None) -> int:
                    help="worker processes (0 = all cores)")
     p.add_argument("--dt", type=float, default=None,
                    help="simulation timestep in seconds")
+    p.add_argument("--job-timeout", dest="job_timeout", type=float,
+                   default=None, metavar="S",
+                   help="kill any single job after S seconds")
     p.add_argument("-o", "--output", default=None,
                    help="write the result rows as JSON here")
     _add_cache_args(p)
+    _add_trace_arg(p)
+
+    p = sub.add_parser("trace", help="render a recorded trace as a "
+                                     "span tree")
+    p.add_argument("input", help="JSONL trace written by --trace")
+
+    p = sub.add_parser("stats", help="per-stage aggregate table of a "
+                                     "recorded trace")
+    p.add_argument("input", help="JSONL trace written by --trace")
 
     args = parser.parse_args(argv)
+
+    trace_path = (getattr(args, "trace", None)
+                  or os.environ.get(obs.ENV_TRACE))
+    if trace_path:
+        with obs.capture() as tr:
+            rc = _dispatch(args, parser)
+        n = tr.write_jsonl(trace_path)
+        print(f"# wrote {n} spans to {trace_path}", file=sys.stderr)
+        return rc
+    return _dispatch(args, parser)
+
+
+def _dispatch(args, parser) -> int:
+    if args.cmd == "trace":
+        print(obs.render_tree(obs.load_jsonl(args.input)))
+        return 0
+
+    if args.cmd == "stats":
+        print(obs.render_stats(obs.load_jsonl(args.input)))
+        return 0
 
     if args.cmd == "vhdlparse":
         ok, msg = check_syntax(Path(args.input).read_text())

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .. import obs
 from ..arch import (ArchParams, DEFAULT_ARCH, build_rr_graph,
                     generate_arch_file)
 from ..bitgen import generate_bitstream
@@ -153,23 +154,33 @@ class DesignFlow:
         h.update(repro_code_version().encode())
         return h.hexdigest()
 
-    def _cached_stage(self, stage: str, extra: tuple, compute):
+    def _cached_stage(self, stage: str, extra: tuple, compute,
+                      qor=None):
         """Run ``compute`` unless its output is already cached.
 
         The key chains on the previous stage's key, so editing the
         source, an option or any upstream artifact invalidates this
         stage and everything after it, while a re-run with identical
         inputs is a pure cache read.
+
+        Each stage traces a ``flow.<stage>`` span carrying the cache
+        outcome plus whatever QoR attributes ``qor(value)`` reports
+        (LUT count, channel width, power, ...).
         """
         key = self._stage_key(stage, extra)
         self._fp = key
-        t0 = time.perf_counter()
-        hit, value = self._cache.get(key)
-        if not hit:
-            value = compute()
-            self._cache.put(key, value)
-        self.result.stage_seconds[stage] = time.perf_counter() - t0
-        self.result.cache_hits[stage] = hit
+        with obs.span(f"flow.{stage}",
+                      circuit=self.result.name or "") as sp:
+            t0 = time.perf_counter()
+            hit, value = self._cache.get(key)
+            if not hit:
+                value = compute()
+                self._cache.put(key, value)
+            self.result.stage_seconds[stage] = time.perf_counter() - t0
+            self.result.cache_hits[stage] = hit
+            sp.set_attr(cache_hit=hit)
+            if qor is not None:
+                sp.set_attr(**qor(value))
         return value
 
     def _save(self, name: str, data: str | bytes) -> None:
@@ -184,13 +195,15 @@ class DesignFlow:
     # -- stages -----------------------------------------------------------
     def upload(self, vhdl_text: str) -> str:
         """Stage 1: syntax check (VHDL Parser)."""
-        ok, msg = check_syntax(vhdl_text)
-        self.result.syntax_message = msg
-        if not ok:
-            raise ValueError(msg)
-        self._vhdl = vhdl_text
-        self._seed_fingerprint("vhdl", vhdl_text)
-        self._save("design.vhd", vhdl_text)
+        with obs.span("flow.upload", bytes=len(vhdl_text)) as sp:
+            ok, msg = check_syntax(vhdl_text)
+            self.result.syntax_message = msg
+            sp.set_attr(ok=ok)
+            if not ok:
+                raise ValueError(msg)
+            self._vhdl = vhdl_text
+            self._seed_fingerprint("vhdl", vhdl_text)
+            self._save("design.vhd", vhdl_text)
         return msg
 
     def synthesis(self) -> None:
@@ -199,7 +212,8 @@ class DesignFlow:
             raw = synthesize(self._vhdl)
             clean = druid(raw)
             return write_edif(raw), clean
-        raw_edif, clean = self._cached_stage("synthesis", (), run)
+        raw_edif, clean = self._cached_stage(
+            "synthesis", (), run, qor=lambda v: v[1].stats())
         self._save("diviner.edif", raw_edif)
         self._save("druid.edif", write_edif(clean, program="DRUID"))
         self.result.structural = clean
@@ -217,7 +231,10 @@ class DesignFlow:
                               k=opts.arch.k)
             return logic, mapped.network, cn
         logic, mapped_net, cn = self._cached_stage(
-            "translation", (opts.arch,), run)
+            "translation", (opts.arch,), run,
+            qor=lambda v: {"luts": len(v[1].nodes),
+                           "ffs": len(v[1].latches),
+                           "clbs": len(v[2].clusters)})
         self._save("e2fmt.blif", write_blif(logic))
         self._save("sis_mapped.blif", write_blif(mapped_net))
         self._save("tvpack.net", write_net(cn))
@@ -242,14 +259,21 @@ class DesignFlow:
             return pl, rr, g
         pl, rr, g = self._cached_stage(
             "place_route",
-            (opts.seed, opts.place_effort, opts.min_channel_width), run)
+            (opts.seed, opts.place_effort, opts.min_channel_width), run,
+            qor=lambda v: {"grid": v[0].grid_size,
+                           "bbox_cost": round(v[0].cost, 2),
+                           "channel_width": v[1].channel_width,
+                           "route_iterations": v[1].iterations})
         self._save("vpr.place", _format_place(pl))
         self._save("vpr.route", _format_route(rr))
         (self.result.placement, self.result.routing,
          self.result.rr_graph) = pl, rr, g
-        self.result.timing = analyze_timing(
-            self.result.clustered, self.result.placement,
-            self.result.routing, self.result.rr_graph, opts.arch)
+        with obs.span("flow.timing",
+                      circuit=self.result.name or "") as sp:
+            self.result.timing = analyze_timing(
+                self.result.clustered, self.result.placement,
+                self.result.routing, self.result.rr_graph, opts.arch)
+            sp.set_attr(**self.result.timing.stats())
 
     def power_estimation(self) -> None:
         """Stage 4 (runs after P&R here: it needs the routed design)."""
@@ -263,7 +287,8 @@ class DesignFlow:
                 self.result.rr_graph, opts.arch, f_clk_hz=f,
                 gated_clock=opts.gated_clock)
         self.result.power = self._cached_stage(
-            "power", (opts.gated_clock, opts.f_clk_hz), run)
+            "power", (opts.gated_clock, opts.f_clk_hz), run,
+            qor=lambda v: {"total_mW": v.stats()["total_mW"]})
         self._save("powermodel.json",
                    json.dumps(self.result.power.stats(), indent=2))
 
@@ -274,19 +299,22 @@ class DesignFlow:
                 self.result.mapped, self.result.clustered,
                 self.result.placement, self.result.routing,
                 self.result.rr_graph, self.options.arch)
-        self.result.bitstream = self._cached_stage("bitstream", (), run)
+        self.result.bitstream = self._cached_stage(
+            "bitstream", (), run, qor=lambda v: {"bytes": len(v)})
         self._save("design.bit", self.result.bitstream)
         return self.result.bitstream
 
     # -- one-shot -----------------------------------------------------------
     def run(self, vhdl_text: str) -> FlowResult:
         """Run all six stages in order."""
-        self.upload(vhdl_text)
-        self.synthesis()
-        self.translation()
-        self.place_and_route()
-        self.power_estimation()
-        self.program()
+        with obs.span("flow.run") as sp:
+            self.upload(vhdl_text)
+            self.synthesis()
+            self.translation()
+            self.place_and_route()
+            self.power_estimation()
+            self.program()
+            sp.set_attr(**self.result.summary())
         return self.result
 
 
@@ -301,21 +329,26 @@ def run_flow_from_logic(logic: LogicNetwork,
     """Run the flow starting from a BLIF-level network (skips HDL)."""
     flow = DesignFlow(options)
     opts = flow.options
-    flow.result.name = logic.name
-    flow.result.logic = logic
-    flow._seed_fingerprint("blif", write_blif(logic))
+    with obs.span("flow.run") as sp:
+        flow.result.name = logic.name
+        flow.result.logic = logic
+        flow._seed_fingerprint("blif", write_blif(logic))
 
-    def run():
-        mapped = optimize_and_map(logic, opts.arch.k)
-        cn = pack_netlist(mapped.network, n=opts.arch.n,
-                          i=opts.arch.inputs_per_clb, k=opts.arch.k)
-        return mapped.network, cn
-    (flow.result.mapped,
-     flow.result.clustered) = flow._cached_stage(
-        "translation", (opts.arch,), run)
-    flow.place_and_route()
-    flow.power_estimation()
-    flow.program()
+        def run():
+            mapped = optimize_and_map(logic, opts.arch.k)
+            cn = pack_netlist(mapped.network, n=opts.arch.n,
+                              i=opts.arch.inputs_per_clb, k=opts.arch.k)
+            return mapped.network, cn
+        (flow.result.mapped,
+         flow.result.clustered) = flow._cached_stage(
+            "translation", (opts.arch,), run,
+            qor=lambda v: {"luts": len(v[0].nodes),
+                           "ffs": len(v[0].latches),
+                           "clbs": len(v[1].clusters)})
+        flow.place_and_route()
+        flow.power_estimation()
+        flow.program()
+        sp.set_attr(**flow.result.summary())
     return flow.result
 
 

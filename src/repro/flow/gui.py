@@ -14,6 +14,7 @@ reproduces the same structure two ways:
 
 from __future__ import annotations
 
+from .. import obs
 from ..flow.flow import DesignFlow, FlowResult
 
 __all__ = ["FlowGui", "render_text", "render_html"]
@@ -47,15 +48,17 @@ class FlowGui:
             ("Power Estimation", flow.power_estimation),
             ("FPGA Program", flow.program),
         ]
-        for stage, fn in steps:
-            self.set(stage, "running")
-            try:
-                fn()
-            except Exception as exc:
-                self.set(stage, "failed", str(exc))
-                echo(self.render())
-                raise
-            self.set(stage, "done")
+        with obs.span("flow.run") as sp:
+            for stage, fn in steps:
+                self.set(stage, "running")
+                try:
+                    fn()
+                except Exception as exc:
+                    self.set(stage, "failed", str(exc))
+                    echo(self.render())
+                    raise
+                self.set(stage, "done")
+            sp.set_attr(**flow.result.summary())
         echo(self.render())
         return flow.result
 

@@ -1,0 +1,40 @@
+"""repro.obs -- flow-wide tracing and metrics.
+
+A lightweight span/counter layer wired through the whole toolchain:
+every :class:`~repro.flow.flow.DesignFlow` stage, the experiment
+engine's job lifecycle and the placer/router top loops open spans on
+the ambient :class:`Tracer`.  Traces export as JSONL and render as a
+per-run summary tree (wall time, cache hit/miss, QoR numbers such as
+LUT count and channel width) or as per-stage aggregates::
+
+    from repro import obs
+
+    with obs.capture() as tr:
+        run_flow(vhdl)                 # stages trace themselves
+    tr.write_jsonl("run.jsonl")
+    print(obs.render_tree(tr.export()))
+
+or, from the command line::
+
+    repro-flow flow design.vhd --trace run.jsonl
+    repro-flow trace run.jsonl     # span tree
+    repro-flow stats run.jsonl     # per-stage aggregates
+
+Setting ``REPRO_TRACE=/path/run.jsonl`` traces any CLI invocation
+without flags; :func:`set_enabled` turns the layer off entirely (spans
+become shared no-ops).
+"""
+
+from .report import (aggregate, build_tree, format_seconds, load_jsonl,
+                     render_stats, render_tree)
+from .trace import (ENV_TRACE, NOOP_SPAN, Span, Tracer, adopt, capture,
+                    current_span, default_tracer, emit, enabled, gauge,
+                    incr, set_enabled, span, tracer)
+
+__all__ = [
+    "ENV_TRACE", "NOOP_SPAN", "Span", "Tracer",
+    "adopt", "aggregate", "build_tree", "capture", "current_span",
+    "default_tracer", "emit", "enabled", "format_seconds", "gauge",
+    "incr", "load_jsonl", "render_stats", "render_tree", "set_enabled",
+    "span", "tracer",
+]

@@ -17,6 +17,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..arch.fabric import FabricGrid, Site
 from ..arch.params import ArchParams
 from ..pack.cluster import ClusteredNetlist
@@ -123,48 +124,63 @@ def place(cn: ClusteredNetlist, arch: ArchParams, *,
     blocks = clb_blocks + io_blocks
     movable = [b for b in blocks if nets_of.get(b)]
     if not movable or not nets:
+        obs.emit("place.anneal", blocks=len(blocks), nets=len(nets),
+                 grid=grid_size, seed=seed, temps=0, moves=0,
+                 accepted=0, cost=round(cost, 3))
         return Placement(arch, grid_size, loc, cost, nets)
 
-    # Initial temperature: VPR uses 20 * std-dev of random-move deltas.
-    deltas = []
-    for _ in range(min(50, 5 * len(movable))):
-        d = _try_move(rng, loc, occupant, free_sites, movable, grid_size,
-                      nets, nets_of, net_cost, t=float("inf"),
-                      rlim=grid_size, commit_always=True)
-        if d is not None:
-            deltas.append(d)
-            cost += d
-    std = (sum(d * d for d in deltas) / len(deltas)) ** 0.5 if deltas \
-        else 1.0
-    t = 20.0 * max(std, 1e-6)
-
-    rlim = float(grid_size)
-    moves_per_t = max(10, int(effort * 10 * len(movable) ** (4 / 3)))
-
-    while t >= 0.005 * max(cost, 1e-9) / len(nets):
-        accepted = 0
-        for _ in range(moves_per_t):
+    # The annealer is the flow's hottest loop; the span aggregates its
+    # totals as attributes (no per-move tracer work -- plain local
+    # ints, so tracing overhead is independent of effort).
+    with obs.span("place.anneal", blocks=len(blocks), nets=len(nets),
+                  grid=grid_size, seed=seed) as sp:
+        # Initial temperature: VPR uses 20 * std-dev of random deltas.
+        deltas = []
+        for _ in range(min(50, 5 * len(movable))):
             d = _try_move(rng, loc, occupant, free_sites, movable,
-                          grid_size, nets, nets_of, net_cost, t=t,
-                          rlim=rlim)
+                          grid_size, nets, nets_of, net_cost,
+                          t=float("inf"), rlim=grid_size,
+                          commit_always=True)
             if d is not None:
-                accepted += 1
+                deltas.append(d)
                 cost += d
-        rate = accepted / moves_per_t
-        if rate > 0.96:
-            t *= 0.5
-        elif rate > 0.8:
-            t *= 0.9
-        elif rate > 0.15 and rlim > 1.0:
-            t *= 0.95
-        else:
-            t *= 0.8
-        rlim = min(max(1.0, rlim * (1.0 - 0.44 + rate)),
-                   float(grid_size))
-        # Periodic full recompute to cancel floating-point drift.
-        cost = sum(net_cost.values())
+        std = (sum(d * d for d in deltas) / len(deltas)) ** 0.5 \
+            if deltas else 1.0
+        t = 20.0 * max(std, 1e-6)
 
-    cost = wirelength_cost(loc, nets)
+        rlim = float(grid_size)
+        moves_per_t = max(10, int(effort * 10 * len(movable) ** (4 / 3)))
+        n_temps = n_moves = n_accepted = 0
+
+        while t >= 0.005 * max(cost, 1e-9) / len(nets):
+            accepted = 0
+            for _ in range(moves_per_t):
+                d = _try_move(rng, loc, occupant, free_sites, movable,
+                              grid_size, nets, nets_of, net_cost, t=t,
+                              rlim=rlim)
+                if d is not None:
+                    accepted += 1
+                    cost += d
+            rate = accepted / moves_per_t
+            n_temps += 1
+            n_moves += moves_per_t
+            n_accepted += accepted
+            if rate > 0.96:
+                t *= 0.5
+            elif rate > 0.8:
+                t *= 0.9
+            elif rate > 0.15 and rlim > 1.0:
+                t *= 0.95
+            else:
+                t *= 0.8
+            rlim = min(max(1.0, rlim * (1.0 - 0.44 + rate)),
+                       float(grid_size))
+            # Periodic full recompute to cancel floating-point drift.
+            cost = sum(net_cost.values())
+
+        cost = wirelength_cost(loc, nets)
+        sp.set_attr(temps=n_temps, moves=n_moves, accepted=n_accepted,
+                    cost=round(cost, 3))
     return Placement(arch, grid_size, loc, cost, nets)
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..arch.params import ArchParams
 from ..arch.rrgraph import RRGraph, build_rr_graph
 from ..place.placer import Placement
@@ -83,6 +84,21 @@ def route(placement: Placement, g: RRGraph, *,
           max_iterations: int = 40, pres_fac_mult: float = 1.6,
           acc_fac: float = 0.5) -> RoutingResult:
     """Route every net of a placement over the RR graph."""
+    with obs.span("route.pathfinder", nets=len(placement.nets),
+                  channel_width=g.arch.channel_width) as sp:
+        result = _route_all(placement, g,
+                            max_iterations=max_iterations,
+                            pres_fac_mult=pres_fac_mult,
+                            acc_fac=acc_fac)
+        sp.set_attr(success=result.success,
+                    iterations=result.iterations,
+                    overused=result.overused)
+    return result
+
+
+def _route_all(placement: Placement, g: RRGraph, *,
+               max_iterations: int, pres_fac_mult: float,
+               acc_fac: float) -> RoutingResult:
     nets = placement.nets
     # Net terminals in rr-node space.
     terminals: dict[str, tuple[int, list[int]]] = {}
@@ -191,7 +207,11 @@ def route_min_channel_width(placement: Placement, arch: ArchParams,
     """
     from dataclasses import replace
 
+    attempts = 0
+
     def attempt(w: int):
+        nonlocal attempts
+        attempts += 1
         a = replace(arch, channel_width=w)
         g = build_rr_graph(a, placement.grid_size)
         try:
@@ -200,26 +220,29 @@ def route_min_channel_width(placement: Placement, arch: ArchParams,
             return None, None
         return (r, g) if r.success else (None, g)
 
-    lo, hi = w_min, w_max
-    best: tuple[int, RoutingResult, RRGraph] | None = None
-    # First find some routable width by doubling.
-    w = lo
-    while w <= hi:
-        r, g = attempt(w)
-        if r is not None:
-            best = (w, r, g)
-            hi = w - 1
-            break
-        w *= 2
-    if best is None:
-        raise RuntimeError(f"unroutable even at width {hi}")
-    lo = max(w_min, w // 2 + 1)
-    while lo <= hi:
-        mid = (lo + hi) // 2
-        r, g = attempt(mid)
-        if r is not None:
-            best = (mid, r, g)
-            hi = mid - 1
-        else:
-            lo = mid + 1
+    with obs.span("route.min_width_search", w_min=w_min,
+                  w_max=w_max) as sp:
+        lo, hi = w_min, w_max
+        best: tuple[int, RoutingResult, RRGraph] | None = None
+        # First find some routable width by doubling.
+        w = lo
+        while w <= hi:
+            r, g = attempt(w)
+            if r is not None:
+                best = (w, r, g)
+                hi = w - 1
+                break
+            w *= 2
+        if best is None:
+            raise RuntimeError(f"unroutable even at width {hi}")
+        lo = max(w_min, w // 2 + 1)
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            r, g = attempt(mid)
+            if r is not None:
+                best = (mid, r, g)
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        sp.set_attr(attempts=attempts, channel_width=best[0])
     return best

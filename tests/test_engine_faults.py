@@ -1,0 +1,266 @@
+"""Failure-injection tests for the fault-tolerant experiment engine.
+
+Each test injects one (or several) of the failure modes the pooled
+runner must survive -- a job that sleeps past its timeout, a worker
+that dies mid-job (``os._exit``), a flaky task that succeeds only on a
+retry -- and asserts the contract: the batch always completes, results
+stay aligned one-to-one with the submitted specs in submission order,
+and every failure is captured as a structured :class:`JobError` rather
+than hanging or poisoning the pool.
+
+The injected task kinds are registered at import time; worker processes
+are forked on Linux, so they inherit the registry.
+"""
+
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.exp import (JobError, JobFailedError, JobSpec, NullCache,
+                      ParallelRunner, ResultCache)
+from repro.exp.tasks import task
+
+pytestmark = pytest.mark.skipif(
+    mp.get_start_method(allow_none=False) != "fork",
+    reason="injected task kinds require fork start method")
+
+
+@task("_test_quick")
+def _quick(tag: int = 0, **_ignored):
+    return {"tag": tag, "pid": os.getpid()}
+
+
+@task("_test_sleep")
+def _sleep(seconds: float = 30.0, **_ignored):
+    time.sleep(seconds)
+    return "overslept"
+
+
+@task("_test_exit")
+def _exit(code: int = 17, **_ignored):
+    os._exit(code)
+
+
+@task("_test_raise")
+def _raise(message: str = "boom", **_ignored):
+    raise ValueError(message)
+
+
+@task("_test_flaky")
+def _flaky(marker: str = "", fail_times: int = 1, **_ignored):
+    """Fails until ``fail_times`` attempts are on record in ``marker``.
+
+    The attempt count lives in a file so it survives the fresh worker
+    process each retry runs in.
+    """
+    with open(marker, "a") as fh:
+        fh.write("x")
+    attempts = os.path.getsize(marker)
+    if attempts <= fail_times:
+        raise RuntimeError(f"flaky failure #{attempts}")
+    return {"attempts": attempts}
+
+
+@task("_test_traced")
+def _traced(depth: int = 2, **_ignored):
+    with obs.span("task.outer", depth=depth):
+        with obs.span("task.inner"):
+            pass
+    return "traced"
+
+
+def runner(tmp_path, jobs=2, **kw):
+    return ParallelRunner(jobs=jobs, cache=ResultCache(tmp_path / "c"),
+                          **kw)
+
+
+class TestTimeout:
+    def test_sleeping_job_is_killed_not_awaited(self, tmp_path):
+        specs = [JobSpec.make("_test_sleep", seconds=30.0,
+                              timeout_s=0.5)]
+        t0 = time.monotonic()
+        (res,) = runner(tmp_path).run(specs)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 10.0, "timeout did not interrupt the sleep"
+        assert not res.ok and res.error.is_timeout
+        assert res.error.exc_type == "TimeoutError"
+        assert "0.5" in res.error.message
+        with pytest.raises(JobFailedError, match="failed"):
+            res.unwrap()
+
+    def test_runner_default_timeout_applies(self, tmp_path):
+        specs = [JobSpec.make("_test_sleep", seconds=30.0)]
+        (res,) = runner(tmp_path, timeout_s=0.5).run(specs)
+        assert not res.ok and res.error.is_timeout
+
+    def test_spec_timeout_overrides_runner_default(self, tmp_path):
+        specs = [JobSpec.make("_test_sleep", seconds=0.05,
+                              timeout_s=20.0)]
+        (res,) = runner(tmp_path, timeout_s=0.01).run(specs)
+        assert res.ok and res.value == "overslept"
+
+
+class TestCrash:
+    def test_dead_worker_yields_failed_result(self, tmp_path):
+        specs = [JobSpec.make("_test_exit", code=17, timeout_s=20.0)]
+        (res,) = runner(tmp_path).run(specs)
+        assert not res.ok and res.error.is_crash
+        assert res.error.exc_type == "WorkerCrashed"
+
+    def test_crash_does_not_poison_siblings(self, tmp_path):
+        specs = [JobSpec.make("_test_exit", timeout_s=20.0),
+                 JobSpec.make("_test_quick", tag=1, timeout_s=20.0),
+                 JobSpec.make("_test_quick", tag=2, timeout_s=20.0)]
+        crashed, a, b = runner(tmp_path).run(specs)
+        assert not crashed.ok and crashed.error.is_crash
+        assert a.ok and a.value["tag"] == 1
+        assert b.ok and b.value["tag"] == 2
+
+
+class TestRetry:
+    def test_flaky_succeeds_on_retry(self, tmp_path):
+        marker = tmp_path / "attempts"
+        specs = [JobSpec.make("_test_flaky", marker=str(marker),
+                              fail_times=1, retries=2, timeout_s=20.0)]
+        (res,) = runner(tmp_path, backoff_s=0.01).run(specs)
+        assert res.ok and res.attempts == 2
+        assert res.value["attempts"] == 2
+
+    def test_retries_exhausted_keeps_last_error(self, tmp_path):
+        marker = tmp_path / "attempts"
+        specs = [JobSpec.make("_test_flaky", marker=str(marker),
+                              fail_times=10, retries=2, timeout_s=20.0)]
+        (res,) = runner(tmp_path, backoff_s=0.01).run(specs)
+        assert not res.ok and res.attempts == 3
+        assert res.error.kind == "error"
+        assert res.error.exc_type == "RuntimeError"
+        assert "flaky failure #3" in res.error.message
+
+    def test_inline_path_retries_too(self, tmp_path):
+        marker = tmp_path / "attempts"
+        specs = [JobSpec.make("_test_flaky", marker=str(marker),
+                              fail_times=1, retries=1)]
+        (res,) = runner(tmp_path, jobs=1, backoff_s=0.01).run(specs)
+        assert res.ok and res.attempts == 2
+
+
+class TestMixedBatch:
+    def test_every_failure_mode_in_one_batch(self, tmp_path):
+        """The acceptance scenario: timeout + crash + transient failure
+        + plain errors + successes in a single batch, all surviving,
+        results in submission order."""
+        marker = tmp_path / "attempts"
+        specs = [
+            JobSpec.make("_test_quick", tag=0, timeout_s=20.0),
+            JobSpec.make("_test_sleep", seconds=30.0, timeout_s=0.5),
+            JobSpec.make("_test_exit", timeout_s=20.0),
+            JobSpec.make("_test_flaky", marker=str(marker),
+                         fail_times=1, retries=2, timeout_s=20.0),
+            JobSpec.make("_test_raise", message="kaput",
+                         timeout_s=20.0),
+            JobSpec.make("_test_quick", tag=5, timeout_s=20.0),
+        ]
+        results = runner(tmp_path, backoff_s=0.01).run(specs)
+        assert len(results) == len(specs)
+        assert [r.spec.kind for r in results] == [s.kind for s in specs]
+
+        ok0, timed, crashed, flaky, raised, ok5 = results
+        assert ok0.ok and ok0.value["tag"] == 0
+        assert timed.error.is_timeout
+        assert crashed.error.is_crash
+        assert flaky.ok and flaky.attempts == 2
+        assert raised.error.kind == "error"
+        assert raised.error.exc_type == "ValueError"
+        assert "kaput" in raised.error.message
+        assert raised.error.traceback  # full worker traceback captured
+        assert ok5.ok and ok5.value["tag"] == 5
+
+    def test_batch_trace_labels_outcomes(self, tmp_path):
+        marker = tmp_path / "attempts"
+        specs = [
+            JobSpec.make("_test_sleep", seconds=30.0, timeout_s=0.3),
+            JobSpec.make("_test_flaky", marker=str(marker),
+                         fail_times=1, retries=1, timeout_s=20.0),
+            JobSpec.make("_test_quick", timeout_s=20.0),
+        ]
+        with obs.capture() as tr:
+            runner(tmp_path, backoff_s=0.01).run(specs)
+        jobs = [r for r in tr.export() if r["name"] == "exp.job"]
+        outcomes = {r["attrs"]["outcome"] for r in jobs}
+        assert {"timeout", "retry:error", "ok"} <= outcomes
+        (batch,) = [r for r in tr.export() if r["name"] == "exp.batch"]
+        assert batch["attrs"]["failures"] == 1
+
+
+class TestWorkerTraces:
+    def test_worker_spans_graft_under_their_job(self, tmp_path):
+        specs = [JobSpec.make("_test_traced", depth=2, timeout_s=20.0)]
+        with obs.capture() as tr:
+            (res,) = runner(tmp_path).run(specs)
+        assert res.ok
+        recs = tr.export()
+        (job,) = [r for r in recs if r["name"] == "exp.job"]
+        (outer,) = [r for r in recs if r["name"] == "task.outer"]
+        (inner,) = [r for r in recs if r["name"] == "task.inner"]
+        assert outer["parent_id"] == job["span_id"]
+        assert inner["parent_id"] == outer["span_id"]
+
+
+class TestCheckpointing:
+    def test_partial_batch_resumes_from_cache(self, tmp_path):
+        """Jobs cached as they finish: a batch with one poison job
+        leaves the good results on disk, and the re-run only recomputes
+        the poison one."""
+        cache_dir = tmp_path / "shared"
+        specs = [JobSpec.make("_test_quick", tag=t, timeout_s=20.0)
+                 for t in range(3)]
+        poison = JobSpec.make("_test_exit", timeout_s=20.0)
+
+        first = ParallelRunner(jobs=2, cache=ResultCache(cache_dir))
+        results = first.run([*specs, poison])
+        assert [r.ok for r in results] == [True, True, True, False]
+
+        second = ParallelRunner(jobs=2, cache=ResultCache(cache_dir))
+        rerun = second.run([*specs, poison])
+        assert [r.cached for r in rerun] == [True, True, True, False]
+        assert [r.value["tag"] for r in rerun[:3]] == [0, 1, 2]
+        # Failures are never cached -- the poison job ran again.
+        assert not rerun[3].ok and second.cache.hits == 3
+
+    def test_interrupted_sweep_resumes(self, tmp_path):
+        """Simulate an interrupt: run half the sweep, then the full
+        sweep against the same cache; the first half is pure reads."""
+        cache_dir = tmp_path / "shared"
+        all_specs = [JobSpec.make("_test_quick", tag=t, timeout_s=20.0)
+                     for t in range(4)]
+        ParallelRunner(jobs=2,
+                       cache=ResultCache(cache_dir)).run(all_specs[:2])
+        cache = ResultCache(cache_dir)
+        results = ParallelRunner(jobs=2, cache=cache).run(all_specs)
+        assert [r.cached for r in results] == [True, True, False, False]
+        assert [r.value["tag"] for r in results] == [0, 1, 2, 3]
+
+
+class TestJobErrorShape:
+    def test_structured_triple(self):
+        err = JobError(exc_type="ValueError", message="bad width",
+                       traceback="Traceback ...", kind="error")
+        assert str(err) == "Traceback ..."
+        assert not err.is_timeout and not err.is_crash
+        bare = JobError(exc_type="TimeoutError", message="too slow",
+                        kind="timeout")
+        assert str(bare) == "TimeoutError: too slow"
+        assert bare.is_timeout
+
+    def test_unwrap_carries_error_and_result(self, tmp_path):
+        (res,) = ParallelRunner(
+            jobs=1, cache=NullCache()).run(
+                [JobSpec.make("_test_raise", message="why")])
+        with pytest.raises(JobFailedError) as info:
+            res.unwrap()
+        assert info.value.result is res
+        assert info.value.error.exc_type == "ValueError"
+        assert "why" in str(info.value)

@@ -12,8 +12,9 @@ import time
 
 import pytest
 
-from repro.exp import (JobSpec, NullCache, ParallelRunner, ResultCache,
-                       canonical_json, default_runner)
+from repro.exp import (JobError, JobFailedError, JobSpec, NullCache,
+                       ParallelRunner, ResultCache, canonical_json,
+                       default_runner)
 from repro.exp.tasks import execute, registered_kinds, task
 from repro.flow.flow import FlowOptions, run_flow
 from tests.test_flow import COUNTER_VHDL
@@ -137,10 +138,20 @@ class TestParallelRunner:
         ]
         runner = ParallelRunner(jobs=4, cache=ResultCache(tmp_path))
         bad, good = runner.run(specs)
-        assert not bad.ok and "wire_length" in bad.error
+        assert not bad.ok
+        assert isinstance(bad.error, JobError)
+        assert bad.error.kind == "error"
+        assert "wire_length" in str(bad.error)
         assert good.ok and good.value.wire_length == 1
         with pytest.raises(RuntimeError, match="failed"):
             runner.run_values(specs[:1])
+        # The structured triple survives for programmatic triage.
+        try:
+            runner.run_values(specs[:1])
+        except JobFailedError as exc:
+            assert exc.error.exc_type == "ValueError"
+            assert exc.error.message
+            assert not exc.error.is_timeout and not exc.error.is_crash
 
     def test_warm_cache_speedup(self, tmp_path):
         specs = [JobSpec.make("fig_point", width_mult=w, wire_length=2,
@@ -168,6 +179,23 @@ class TestParallelRunner:
         assert isinstance(runner.cache, NullCache)
         monkeypatch.delenv("REPRO_NO_CACHE")
         assert not isinstance(default_runner().cache, NullCache)
+
+    def test_default_runner_reads_job_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "2.5")
+        assert default_runner().timeout_s == 2.5
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT")
+        assert default_runner().timeout_s is None
+
+    @pytest.mark.parametrize("value", ["", "nope", "1.5x", "-3", "0"])
+    def test_invalid_job_timeout_falls_back_to_none(self, monkeypatch,
+                                                    value):
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", value)
+        assert default_runner().timeout_s is None
+
+    @pytest.mark.parametrize("value", ["", "many", "2.5"])
+    def test_invalid_jobs_falls_back_to_serial(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_JOBS", value)
+        assert default_runner().jobs == 1
 
 
 # ---------------------------------------------------------------------------
