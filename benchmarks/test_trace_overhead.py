@@ -1,12 +1,19 @@
-"""Tracing overhead budget: spans must cost < 5% of flow wall time.
+"""Observability overhead budget: < 5% of flow wall time.
 
 The instrumentation contract (see ``repro.obs``) is that hot loops
-never touch the tracer, so a fully traced flow run should be
-indistinguishable from an untraced one.  This bench runs the same
-uncached flow repeatedly with tracing enabled and disabled,
-alternating which arm goes first so clock/cache drift cancels, and
-compares the per-arm minima (the standard low-noise estimator: the
-minimum is the run least disturbed by the machine).
+never touch the tracer, so a fully observed flow run should be
+indistinguishable from an unobserved one.  "Fully observed" means the
+whole stack the CLI turns on: spans, the per-stage resource profiler
+(``obs.metrics.profiled`` -- CPU time + peak RSS per stage) and QoR
+metric collection into an ambient :class:`~repro.obs.metrics.
+MetricSet`.  The disabled arm still collects metrics (the flow always
+publishes QoR) but skips spans and profiling, exactly like a CLI run
+without ``--trace``.
+
+This bench runs the same uncached flow repeatedly with observability
+enabled and disabled, alternating which arm goes first so clock/cache
+drift cancels, and compares the per-arm minima (the standard low-noise
+estimator: the minimum is the run least disturbed by the machine).
 """
 
 import time
@@ -36,9 +43,13 @@ def test_trace_overhead_under_five_percent():
 
     def timed(enabled: bool) -> float:
         obs.set_enabled(enabled)
-        with obs.capture() as tr:
+        with obs.capture() as tr, obs.metrics.collect() as ms:
             seconds = _one_run(nets)
         assert bool(len(tr)) == enabled
+        assert ms.get("flow.luts") is not None   # QoR always published
+        # Profiling must ride with spans: present when traced only.
+        assert (ms.get("flow.cpu_s", stage="place_route")
+                is not None) == enabled
         return seconds
 
     traced, untraced = [], []

@@ -132,14 +132,48 @@ def _execute_spec(spec: JobSpec) -> tuple[Any, float, JobError | None]:
         return None, time.perf_counter() - t0, err
 
 
-def _worker_main(conn, spec: JobSpec) -> None:
-    """Child entry point: execute, then report result + trace records."""
+@dataclass(frozen=True)
+class _WorkerSettings:
+    """Observability state a worker must replicate, start-method safe.
+
+    Forked workers inherit module globals, but ``spawn`` workers import
+    :mod:`repro` afresh and would silently fall back to defaults --
+    dropping spans when the parent enabled tracing programmatically and
+    losing ``REPRO_*`` knobs set after interpreter start.  The parent
+    snapshots its state here and the child applies it first thing, so
+    worker spans and metrics are never dropped by the start method.
+    """
+
+    trace_enabled: bool = True
+    env: dict[str, str] | None = None
+
+    #: Environment knobs snapshotted into every worker.
+    FORWARDED = (obs.ENV_TRACE, obs.ENV_RUN_DB, "REPRO_CACHE_DIR")
+
+    @classmethod
+    def snapshot(cls) -> "_WorkerSettings":
+        return cls(trace_enabled=obs.enabled(),
+                   env={k: os.environ[k] for k in cls.FORWARDED
+                        if k in os.environ})
+
+    def apply(self) -> None:
+        obs.set_enabled(self.trace_enabled)
+        for k, v in (self.env or {}).items():
+            os.environ.setdefault(k, v)
+
+
+def _worker_main(conn, spec: JobSpec,
+                 settings: _WorkerSettings | None = None) -> None:
+    """Child entry: execute, then report result + trace + metrics."""
+    if settings is not None:
+        settings.apply()
     tr = obs.Tracer()
-    with obs.capture(tr):
+    ms = obs.MetricSet()
+    with obs.capture(tr), obs.metrics.collect(ms):
         value, seconds, err = _execute_spec(spec)
     try:
         try:
-            conn.send((value, seconds, err, tr.export()))
+            conn.send((value, seconds, err, tr.export(), ms.export()))
         except Exception as exc:
             # The value itself would not pickle: report that as a task
             # error rather than dying silently (which would look like a
@@ -147,7 +181,7 @@ def _worker_main(conn, spec: JobSpec) -> None:
             err = JobError(exc_type=type(exc).__name__,
                            message=f"job result not picklable: {exc}",
                            traceback=traceback.format_exc())
-            conn.send((None, seconds, err, tr.export()))
+            conn.send((None, seconds, err, tr.export(), ms.export()))
     finally:
         conn.close()
 
@@ -185,6 +219,12 @@ class ParallelRunner:
     ``backoff_s``     base of the exponential retry backoff: attempt
                       ``n`` waits ``backoff_s * 2**(n-1)`` before
                       re-running.
+    ``start_method``  multiprocessing start method for worker processes
+                      (``"fork"``, ``"spawn"``, ``"forkserver"``);
+                      ``None`` uses the platform default.  Observability
+                      state is forwarded explicitly (see
+                      :class:`_WorkerSettings`), so spans and metrics
+                      survive any start method.
 
     Execution is inline (in-process) only when ``jobs == 1`` and no job
     has a timeout; otherwise each job gets its own short-lived worker
@@ -196,7 +236,8 @@ class ParallelRunner:
                  use_cache: bool = True,
                  code_version: str | None = None,
                  timeout_s: float | None = None,
-                 backoff_s: float = 0.25):
+                 backoff_s: float = 0.25,
+                 start_method: str | None = None):
         if jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
@@ -206,6 +247,7 @@ class ParallelRunner:
         self.code_version = code_version
         self.timeout_s = timeout_s
         self.backoff_s = backoff_s
+        self.start_method = start_method
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> list[JobResult]:
@@ -240,6 +282,18 @@ class ParallelRunner:
                 cache_hits=len(specs) - len(pending),
                 failures=sum(1 for r in results
                              if r is not None and not r.ok))
+        ms = obs.metrics.metric_set()
+        ms.counter("exp.jobs", len(specs))
+        ms.counter("exp.cache_hits", len(specs) - len(pending))
+        for r in results:
+            if r is None:
+                continue
+            if not r.ok:
+                ms.counter("exp.failures")
+            if r.attempts > 1:
+                ms.counter("exp.retries", r.attempts - 1)
+            if not r.cached:
+                ms.dist("exp.job_seconds", r.seconds)
         return results  # type: ignore[return-value]
 
     def run_values(self, specs: Sequence[JobSpec]) -> list[Any]:
@@ -278,7 +332,8 @@ class ParallelRunner:
         import multiprocessing as mp
         from multiprocessing.connection import wait as conn_wait
 
-        ctx = mp.get_context()
+        ctx = mp.get_context(self.start_method)
+        settings = _WorkerSettings.snapshot()
         queue: deque[_Pending] = deque(
             _Pending(i, 1, 0.0) for i in pending_idx)
         active: list[_Active] = []
@@ -286,7 +341,8 @@ class ParallelRunner:
         def launch(item: _Pending) -> None:
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(target=_worker_main,
-                               args=(child_conn, specs[item.index]),
+                               args=(child_conn, specs[item.index],
+                                     settings),
                                daemon=True)
             proc.start()
             child_conn.close()
@@ -298,7 +354,8 @@ class ParallelRunner:
 
         def finalize(index: int, attempt: int, value: Any,
                      seconds: float, err: JobError | None,
-                     spans: list | None = None) -> None:
+                     spans: list | None = None,
+                     metric_rows: list | None = None) -> None:
             spec = specs[index]
             if err is not None and attempt <= spec.retries:
                 obs.emit("exp.job", seconds=seconds, kind=spec.kind,
@@ -317,6 +374,8 @@ class ParallelRunner:
             if spans:
                 obs.adopt(spans, parent_id=job_id)
             if err is None:
+                if metric_rows:
+                    obs.metrics.metric_set().merge(metric_rows)
                 self.cache.put(keys[index], value)
 
         def stop_proc(proc) -> None:
@@ -357,8 +416,9 @@ class ParallelRunner:
                     kind="crash")
                 finalize(a.index, a.attempt, None, elapsed, err)
             else:
-                value, seconds, err, spans = payload
-                finalize(a.index, a.attempt, value, seconds, err, spans)
+                value, seconds, err, spans, metric_rows = payload
+                finalize(a.index, a.attempt, value, seconds, err,
+                         spans, metric_rows)
 
         try:
             while queue or active:

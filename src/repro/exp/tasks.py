@@ -12,6 +12,7 @@ Kinds
 ``clock_cell``  one Table 2/3 clock-network energy measurement (J)
 ``fig_point``   one Fig. 8-10 / tri-state sizing point
 ``flow``        one complete VHDL-to-bitstream flow (condensed result)
+``selftest``    trivial built-in probe for engine/start-method tests
 """
 
 from __future__ import annotations
@@ -45,6 +46,28 @@ def execute(spec: JobSpec) -> Any:
         raise KeyError(f"unknown job kind {spec.kind!r}; "
                        f"registered: {registered_kinds()}") from None
     return fn(**spec.params)
+
+
+# ---------------------------------------------------------------------------
+# Engine self-test
+# ---------------------------------------------------------------------------
+
+@task("selftest")
+def _selftest(x: float = 1.0, fail: bool = False) -> float:
+    """Built-in probe: doubles ``x`` inside a traced, metered span.
+
+    Registered here (not in a test module) so it exists in ``spawn``
+    workers, which import only :mod:`repro.exp.tasks` -- test-module
+    registrations never reach them.  Emits one ``selftest.work`` span
+    and one ``exp.selftest`` counter tick so engine tests can assert
+    that worker observability survives any start method.
+    """
+    from .. import obs
+    with obs.span("selftest.work", x=x):
+        if fail:
+            raise RuntimeError("selftest asked to fail")
+        obs.metrics.metric_set().counter("exp.selftest")
+        return 2.0 * x
 
 
 # ---------------------------------------------------------------------------

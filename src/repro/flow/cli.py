@@ -16,6 +16,9 @@ standalone program as well as part of a complete design framework":
                          [--jobs 4] [--no-cache] [-o rows.json]
     repro-flow trace     run.jsonl     (render a recorded span tree)
     repro-flow stats     run.jsonl     (per-stage aggregate table)
+    repro-flow history   [--metric flow.fmax_MHz]  (recorded runs)
+    repro-flow compare   [RUN_A RUN_B | --against-golden]
+    repro-flow report    [--html qor.html]  (sparkline dashboard)
 
 ``vpr``/``flow`` cache every stage output content-addressed (input
 hash + options + code version); ``exp`` fans the independent
@@ -27,6 +30,14 @@ cache.  ``--no-cache`` forces recomputation, ``--cache-dir`` (or
 from ``REPRO_TRACE``): the run records a span per stage/job -- wall
 time, cache hit/miss, QoR numbers -- which ``trace`` and ``stats``
 render afterwards.
+
+The same three commands append every successful run's full metric set
+to the run DB (``--run-db``, ``$REPRO_RUN_DB`` or
+``~/.cache/repro/runs.db``; ``--no-run-db`` skips it).  ``history``
+lists recorded runs, ``compare`` classifies per-metric deltas between
+two runs -- or against the frozen golden QoR with
+``--against-golden`` -- exiting 1 on gated regressions, and ``report``
+renders the self-contained HTML dashboard.
 """
 
 from __future__ import annotations
@@ -69,6 +80,22 @@ def _add_trace_arg(p) -> None:
                    help="record a span trace of the run here (default "
                         "$REPRO_TRACE; inspect with 'repro-flow trace' "
                         "/ 'stats')")
+
+
+def _add_rundb_path_arg(p) -> None:
+    p.add_argument("--run-db", dest="run_db", default=None,
+                   metavar="DB",
+                   help="run-history SQLite file (default $REPRO_RUN_DB "
+                        "or ~/.cache/repro/runs.db)")
+
+
+def _add_rundb_args(p) -> None:
+    _add_rundb_path_arg(p)
+    p.add_argument("--no-run-db", dest="no_run_db", action="store_true",
+                   help="do not record this run in the run DB")
+    p.add_argument("--run-label", dest="run_label", default=None,
+                   help="label stored with the recorded run (default: "
+                        "the subcommand name)")
 
 
 def _runner_from_args(args) -> ParallelRunner:
@@ -137,6 +164,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--min-channel-width", action="store_true")
     _add_cache_args(p)
     _add_trace_arg(p)
+    _add_rundb_args(p)
 
     p = sub.add_parser("flow", help="run the complete VHDL-to-bitstream "
                                     "flow")
@@ -148,6 +176,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="write the GUI page here")
     _add_cache_args(p)
     _add_trace_arg(p)
+    _add_rundb_args(p)
 
     p = sub.add_parser("exp", help="run a batch experiment (table or "
                                    "figure) through the engine")
@@ -164,6 +193,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="write the result rows as JSON here")
     _add_cache_args(p)
     _add_trace_arg(p)
+    _add_rundb_args(p)
 
     p = sub.add_parser("trace", help="render a recorded trace as a "
                                      "span tree")
@@ -173,27 +203,110 @@ def main(argv: list[str] | None = None) -> int:
                                      "recorded trace")
     p.add_argument("input", help="JSONL trace written by --trace")
 
+    p = sub.add_parser("history", help="list recorded runs with key "
+                                       "QoR, or one metric's trend")
+    _add_rundb_path_arg(p)
+    p.add_argument("--label", default=None,
+                   help="only runs recorded under this label")
+    p.add_argument("--circuit", default=None,
+                   help="only runs of this circuit")
+    p.add_argument("--metric", default=None, metavar="NAME",
+                   help="print the value series of one metric instead "
+                        "of the run table")
+    p.add_argument("--limit", type=int, default=20,
+                   help="most recent N runs (default 20)")
+
+    p = sub.add_parser("compare", help="per-metric deltas between two "
+                                       "runs, or against the golden QoR")
+    p.add_argument("runs", nargs="*", metavar="RUN",
+                   help="run references: a run id, 'latest' or "
+                        "'latest~N' (default: latest~1 latest)")
+    _add_rundb_path_arg(p)
+    p.add_argument("--against-golden", dest="against_golden",
+                   action="store_true",
+                   help="compare RUN (default latest) against the "
+                        "frozen benchmarks/results/flow_qor.json")
+    p.add_argument("--golden", default=None, metavar="JSON",
+                   help="alternative golden QoR file")
+    p.add_argument("--circuit", default=None,
+                   help="circuit to select (golden row / run filter)")
+    p.add_argument("--label", default=None,
+                   help="resolve 'latest' within this label only")
+    p.add_argument("--tolerance", type=float, default=None,
+                   metavar="REL",
+                   help="override every metric's relative tolerance "
+                        "band (e.g. 0.05)")
+    p.add_argument("--all", dest="show_all", action="store_true",
+                   help="with --against-golden: include non-gating "
+                        "metrics in the table")
+
+    p = sub.add_parser("report", help="render the QoR trend dashboard "
+                                      "from the run DB")
+    _add_rundb_path_arg(p)
+    p.add_argument("--html", default="qor.html", metavar="OUT",
+                   help="output file (default qor.html)")
+    p.add_argument("--label", default=None,
+                   help="only runs recorded under this label")
+    p.add_argument("--circuit", default=None,
+                   help="only runs of this circuit")
+    p.add_argument("--limit", type=int, default=60,
+                   help="trend window: most recent N runs (default 60)")
+
     args = parser.parse_args(argv)
 
     trace_path = (getattr(args, "trace", None)
                   or os.environ.get(obs.ENV_TRACE))
-    if trace_path:
-        with obs.capture() as tr:
+    record = (args.cmd in ("vpr", "flow", "exp")
+              and not getattr(args, "no_run_db", False))
+    if not trace_path and not record:
+        return _dispatch(args, parser)
+
+    ms = obs.MetricSet()
+    with obs.metrics.collect(ms):
+        if trace_path:
+            with obs.capture() as tr:
+                rc = _dispatch(args, parser)
+            n = tr.write_jsonl(trace_path)
+            print(f"# wrote {n} spans to {trace_path}", file=sys.stderr)
+        else:
             rc = _dispatch(args, parser)
-        n = tr.write_jsonl(trace_path)
-        print(f"# wrote {n} spans to {trace_path}", file=sys.stderr)
-        return rc
-    return _dispatch(args, parser)
+    if record and rc == 0 and len(ms):
+        db = obs.RunDB(getattr(args, "run_db", None))
+        try:
+            run_id = db.record_run(
+                getattr(args, "run_label", None) or args.cmd, ms,
+                trace_path=str(trace_path or ""))
+        finally:
+            db.close()
+        print(f"# recorded run {run_id} in {db.path}", file=sys.stderr)
+    return rc
 
 
 def _dispatch(args, parser) -> int:
-    if args.cmd == "trace":
-        print(obs.render_tree(obs.load_jsonl(args.input)))
+    if args.cmd in ("trace", "stats"):
+        try:
+            records = obs.load_jsonl(args.input)
+        except obs.TraceReadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not records:
+            print(f"error: {args.input}: trace file contains no spans "
+                  f"(was the run traced with --trace/$REPRO_TRACE?)",
+                  file=sys.stderr)
+            return 2
+        render = obs.render_tree if args.cmd == "trace" \
+            else obs.render_stats
+        print(render(records))
         return 0
 
-    if args.cmd == "stats":
-        print(obs.render_stats(obs.load_jsonl(args.input)))
-        return 0
+    if args.cmd == "history":
+        return _run_history(args)
+
+    if args.cmd == "compare":
+        return _run_compare(args)
+
+    if args.cmd == "report":
+        return _run_report(args)
 
     if args.cmd == "vhdlparse":
         ok, msg = check_syntax(Path(args.input).read_text())
@@ -272,6 +385,127 @@ def _dispatch(args, parser) -> int:
 
     parser.error(f"unknown command {args.cmd!r}")
     return 2
+
+
+#: Metric columns of the ``history`` run table.
+_HISTORY_COLS = (("flow.critical_path_ns", "cp(ns)"),
+                 ("flow.fmax_MHz", "fmax(MHz)"),
+                 ("flow.total_mW", "P(mW)"),
+                 ("flow.channel_width", "W"))
+
+
+def _run_history(args) -> int:
+    """``repro-flow history``: the recorded-run table or one trend."""
+    db = obs.RunDB(args.run_db)
+    try:
+        if args.metric:
+            series = db.history(args.metric, label=args.label,
+                                circuit=args.circuit, limit=args.limit)
+            if not series:
+                print(f"error: no recorded values for metric "
+                      f"{args.metric!r} in {db.path}", file=sys.stderr)
+                return 2
+            for row, value in series:
+                circ = row.circuit or "-"
+                print(f"{row.run_id:>5}  {row.when}  {row.label:<8} "
+                      f"{circ:<14} {value:g}")
+            return 0
+
+        rows = db.runs(label=args.label, circuit=args.circuit,
+                       limit=args.limit)
+        if not rows:
+            print(f"error: no runs recorded in {db.path}",
+                  file=sys.stderr)
+            return 2
+        header = (f"{'run':>5}  {'when':<19} {'label':<8} "
+                  f"{'circuit':<14} {'rev':<9}"
+                  + "".join(f" {title:>10}"
+                            for _, title in _HISTORY_COLS))
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            metrics = db.metric_rows(row.run_id)
+
+            def cell(name: str) -> str:
+                m = metrics.get(name)
+                return f"{m['value']:g}" if m else "-"
+
+            print(f"{row.run_id:>5}  {row.when:<19} {row.label:<8} "
+                  f"{(row.circuit or '-'):<14} {(row.git_rev or '-'):<9}"
+                  + "".join(f" {cell(name):>10}"
+                            for name, _ in _HISTORY_COLS))
+        return 0
+    finally:
+        db.close()
+
+
+def _run_compare(args) -> int:
+    """``repro-flow compare``: run-vs-run or run-vs-golden deltas.
+
+    Exit codes: 0 no gated regression, 1 gated regression(s),
+    2 usage/data error (unknown run, missing golden row, ...).
+    """
+    db = obs.RunDB(args.run_db)
+    try:
+        if args.against_golden:
+            if len(args.runs) > 1:
+                print("error: --against-golden takes at most one RUN",
+                      file=sys.stderr)
+                return 2
+            token = args.runs[0] if args.runs else "latest"
+            cand = db.resolve(token, label=args.label,
+                              circuit=args.circuit)
+            circuit = args.circuit or cand.circuit or None
+            baseline = obs.golden_flow_rows(args.golden, circuit)
+            candidate = db.metric_rows(cand.run_id)
+            title_a = f"golden:{circuit or '-'}"
+            title_b = f"run {cand.run_id}"
+            gate_only = not args.show_all
+        else:
+            tokens = list(args.runs) or ["latest~1", "latest"]
+            if len(tokens) != 2:
+                print("error: compare takes exactly two runs "
+                      "(baseline candidate), or --against-golden",
+                      file=sys.stderr)
+                return 2
+            base = db.resolve(tokens[0], label=args.label,
+                              circuit=args.circuit)
+            cand = db.resolve(tokens[1], label=args.label,
+                              circuit=args.circuit)
+            baseline = db.metric_rows(base.run_id)
+            candidate = db.metric_rows(cand.run_id)
+            title_a = f"run {base.run_id}"
+            title_b = f"run {cand.run_id}"
+            gate_only = False
+        deltas = obs.compare_rows(baseline, candidate,
+                                  tolerance=args.tolerance,
+                                  gate_only=gate_only)
+        print(obs.render_compare(deltas, title_a=title_a,
+                                 title_b=title_b))
+        return 1 if obs.gated_regressions(deltas) else 0
+    except (LookupError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        db.close()
+
+
+def _run_report(args) -> int:
+    """``repro-flow report``: write the self-contained HTML dashboard."""
+    db = obs.RunDB(args.run_db)
+    try:
+        if len(db) == 0:
+            print(f"error: no runs recorded in {db.path} (run "
+                  f"'repro-flow flow ...' first)", file=sys.stderr)
+            return 2
+        html = obs.render_report(db, label=args.label,
+                                 circuit=args.circuit,
+                                 limit=args.limit)
+    finally:
+        db.close()
+    Path(args.html).write_text(html)
+    print(f"wrote {args.html}")
+    return 0
 
 
 def _run_exp(args) -> int:

@@ -170,7 +170,8 @@ class DesignFlow:
         key = self._stage_key(stage, extra)
         self._fp = key
         with obs.span(f"flow.{stage}",
-                      circuit=self.result.name or "") as sp:
+                      circuit=self.result.name or "") as sp, \
+                obs.profiled(sp, "flow", stage=stage):
             t0 = time.perf_counter()
             hit, value = self._cache.get(key)
             if not hit:
@@ -181,6 +182,11 @@ class DesignFlow:
             sp.set_attr(cache_hit=hit)
             if qor is not None:
                 sp.set_attr(**qor(value))
+        ms = obs.metrics.metric_set()
+        ms.dist("flow.seconds", self.result.stage_seconds[stage],
+                stage=stage)
+        if hit:
+            ms.counter("flow.cache_hits")
         return value
 
     def _save(self, name: str, data: str | bytes) -> None:
@@ -269,7 +275,8 @@ class DesignFlow:
         (self.result.placement, self.result.routing,
          self.result.rr_graph) = pl, rr, g
         with obs.span("flow.timing",
-                      circuit=self.result.name or "") as sp:
+                      circuit=self.result.name or "") as sp, \
+                obs.profiled(sp, "flow", stage="timing"):
             self.result.timing = analyze_timing(
                 self.result.clustered, self.result.placement,
                 self.result.routing, self.result.rr_graph, opts.arch)
@@ -304,6 +311,28 @@ class DesignFlow:
         self._save("design.bit", self.result.bitstream)
         return self.result.bitstream
 
+    def publish_metrics(self) -> None:
+        """Publish the run's QoR into the ambient metric set.
+
+        Uses the registered ``flow.*`` vocabulary (see
+        :data:`repro.obs.metrics.FLOW_SUMMARY_METRICS`) plus the power
+        breakdown, and annotates the set with circuit/seed so the run
+        DB can label the row.
+        """
+        ms = obs.metrics.metric_set()
+        if self.result.name:
+            ms.context.setdefault("circuit", self.result.name)
+        ms.context.setdefault("seed", self.options.seed)
+        summary = self.result.summary()
+        for field_name, metric in \
+                obs.metrics.FLOW_SUMMARY_METRICS.items():
+            v = summary.get(field_name)
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                ms.publish(metric, v)
+        if self.result.power is not None:
+            for metric, v in self.result.power.metrics().items():
+                ms.publish(metric, v)
+
     # -- one-shot -----------------------------------------------------------
     def run(self, vhdl_text: str) -> FlowResult:
         """Run all six stages in order."""
@@ -315,6 +344,7 @@ class DesignFlow:
             self.power_estimation()
             self.program()
             sp.set_attr(**self.result.summary())
+        self.publish_metrics()
         return self.result
 
 
@@ -349,6 +379,7 @@ def run_flow_from_logic(logic: LogicNetwork,
         flow.power_estimation()
         flow.program()
         sp.set_attr(**flow.result.summary())
+    flow.publish_metrics()
     return flow.result
 
 

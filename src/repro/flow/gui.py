@@ -59,6 +59,7 @@ class FlowGui:
                     raise
                 self.set(stage, "done")
             sp.set_attr(**flow.result.summary())
+        flow.publish_metrics()
         echo(self.render())
         return flow.result
 

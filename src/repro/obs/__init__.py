@@ -1,11 +1,13 @@
-"""repro.obs -- flow-wide tracing and metrics.
+"""repro.obs -- flow-wide tracing, QoR metrics and run history.
 
-A lightweight span/counter layer wired through the whole toolchain:
-every :class:`~repro.flow.flow.DesignFlow` stage, the experiment
-engine's job lifecycle and the placer/router top loops open spans on
-the ambient :class:`Tracer`.  Traces export as JSONL and render as a
-per-run summary tree (wall time, cache hit/miss, QoR numbers such as
-LUT count and channel width) or as per-stage aggregates::
+Three layers, lightest first:
+
+**Spans** (:mod:`.trace`): every :class:`~repro.flow.flow.DesignFlow`
+stage, the experiment engine's job lifecycle and the placer/router top
+loops open spans on the ambient :class:`Tracer`.  Traces export as
+JSONL and render as a per-run summary tree (wall time, cache
+hit/miss, QoR numbers such as LUT count and channel width) or as
+per-stage aggregates::
 
     from repro import obs
 
@@ -14,27 +16,61 @@ LUT count and channel width) or as per-stage aggregates::
     tr.write_jsonl("run.jsonl")
     print(obs.render_tree(tr.export()))
 
-or, from the command line::
+**Metrics** (:mod:`.metrics`): a typed registry (counter / gauge /
+distribution, with units, stage tags, better-direction and tolerance
+bands) that the same instrumentation points publish QoR into; one
+:func:`metrics.collect` block gathers one run's full metric set.
+Per-stage CPU time and peak RSS ride along via :func:`metrics.profiled`.
+
+**Run history** (:mod:`.rundb`, :mod:`.compare`, :mod:`.dashboard`):
+every CLI flow/vpr/exp invocation appends its metric set to a SQLite
+run DB (``~/.cache/repro/runs.db``, ``--run-db``, or ``$REPRO_RUN_DB``)
+together with git revision, code digest, seed and architecture;
+``repro-flow history`` lists it, ``repro-flow compare A B`` /
+``--against-golden`` classifies per-metric deltas against tolerance
+bands (non-zero exit on gated regressions), and ``repro-flow report
+--html`` renders a sparkline dashboard.
+
+From the command line::
 
     repro-flow flow design.vhd --trace run.jsonl
-    repro-flow trace run.jsonl     # span tree
-    repro-flow stats run.jsonl     # per-stage aggregates
+    repro-flow trace run.jsonl       # span tree
+    repro-flow stats run.jsonl       # per-stage aggregates
+    repro-flow history               # recent runs + key QoR
+    repro-flow compare latest latest~1
+    repro-flow compare --against-golden
+    repro-flow report --html qor.html
 
 Setting ``REPRO_TRACE=/path/run.jsonl`` traces any CLI invocation
-without flags; :func:`set_enabled` turns the layer off entirely (spans
-become shared no-ops).
+without flags; :func:`set_enabled` turns the span layer off entirely
+(spans become shared no-ops).
 """
 
-from .report import (aggregate, build_tree, format_seconds, load_jsonl,
-                     render_stats, render_tree)
+from . import compare as compare_mod
+from . import dashboard, metrics, rundb
+from .compare import (MetricDelta, compare_rows, default_golden_path,
+                      gated_regressions, golden_flow_rows,
+                      render_compare)
+from .dashboard import render_report
+from .metrics import (MetricRegistry, MetricSet, MetricSpec, REGISTRY,
+                      profiled)
+from .report import (TraceReadError, aggregate, build_tree,
+                     format_seconds, load_jsonl, render_stats,
+                     render_tree)
+from .rundb import ENV_RUN_DB, RunDB, RunRow, default_db_path
 from .trace import (ENV_TRACE, NOOP_SPAN, Span, Tracer, adopt, capture,
                     current_span, default_tracer, emit, enabled, gauge,
                     incr, set_enabled, span, tracer)
 
 __all__ = [
-    "ENV_TRACE", "NOOP_SPAN", "Span", "Tracer",
-    "adopt", "aggregate", "build_tree", "capture", "current_span",
-    "default_tracer", "emit", "enabled", "format_seconds", "gauge",
-    "incr", "load_jsonl", "render_stats", "render_tree", "set_enabled",
-    "span", "tracer",
+    "ENV_RUN_DB", "ENV_TRACE", "NOOP_SPAN", "MetricDelta",
+    "MetricRegistry", "MetricSet", "MetricSpec", "REGISTRY", "RunDB",
+    "RunRow", "Span", "TraceReadError", "Tracer",
+    "adopt", "aggregate", "build_tree", "capture", "compare_rows",
+    "current_span", "dashboard", "default_db_path",
+    "default_golden_path", "default_tracer", "emit", "enabled",
+    "format_seconds", "gated_regressions", "gauge", "golden_flow_rows",
+    "incr", "load_jsonl", "metrics", "profiled", "render_compare",
+    "render_report", "render_stats", "render_tree", "rundb",
+    "set_enabled", "span", "tracer",
 ]

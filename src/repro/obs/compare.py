@@ -1,0 +1,228 @@
+"""Per-metric comparison with tolerance bands and regression gating.
+
+Takes two metric-row mappings (``{key: {name, stage, unit, value}}``,
+as stored by :class:`~repro.obs.rundb.RunDB` or exported live by a
+:class:`~repro.obs.metrics.MetricSet`) and classifies every metric:
+
+* ``ok``            -- within the tolerance band of its spec;
+* ``regression``    -- moved in the *bad* direction past tolerance;
+* ``improvement``   -- moved in the *good* direction past tolerance;
+* ``changed``       -- direction-less metric drifted past tolerance;
+* ``added`` / ``removed`` -- present on only one side.
+
+Direction and tolerance come from the :class:`~repro.obs.metrics.
+MetricRegistry`; only metrics whose spec sets ``gate=True`` make
+:func:`gated_regressions` non-empty (and the CLI exit non-zero), so
+noisy resource metrics ride along in the report without ever failing
+a build.
+
+The golden baseline for the full CAD flow is the frozen
+``benchmarks/results/flow_qor.json``: :func:`golden_flow_rows` reads
+the row of one circuit back as a metric mapping through the same
+``FLOW_SUMMARY_METRICS`` naming used when publishing live runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from .metrics import FLOW_SUMMARY_METRICS, MetricRegistry, REGISTRY
+
+__all__ = ["MetricDelta", "compare_rows", "gated_regressions",
+           "render_compare", "golden_flow_rows", "default_golden_path"]
+
+
+def default_golden_path() -> Path:
+    """The frozen flow QoR table checked into the repository."""
+    return (Path(__file__).resolve().parents[3] / "benchmarks" /
+            "results" / "flow_qor.json")
+
+
+@dataclass
+class MetricDelta:
+    """One metric's movement between a baseline and a candidate run."""
+
+    key: str
+    name: str
+    stage: str
+    unit: str
+    baseline: float | None
+    candidate: float | None
+    rel: float | None          # (candidate - baseline) / |baseline|
+    status: str                # ok|regression|improvement|changed|added|removed
+    direction: str
+    rel_tol: float
+    gate: bool
+
+    @property
+    def severity(self) -> float:
+        """How far past tolerance the movement is (sort key)."""
+        if self.rel is None:
+            return 0.0
+        return abs(self.rel) - self.rel_tol
+
+    def pct(self) -> str:
+        if self.rel is None:
+            return "-"
+        if math.isinf(self.rel):
+            return "+inf%" if self.rel > 0 else "-inf%"
+        return f"{self.rel * 100:+.2f}%"
+
+
+def _classify(rel: float, direction: str, tol: float) -> str:
+    if direction == "lower":
+        if rel > tol:
+            return "regression"
+        if rel < -tol:
+            return "improvement"
+        return "ok"
+    if direction == "higher":
+        if rel < -tol:
+            return "regression"
+        if rel > tol:
+            return "improvement"
+        return "ok"
+    return "changed" if abs(rel) > tol else "ok"
+
+
+def compare_rows(baseline: dict[str, dict[str, Any]],
+                 candidate: dict[str, dict[str, Any]],
+                 *, registry: MetricRegistry = REGISTRY,
+                 tolerance: float | None = None,
+                 gate_only: bool = False) -> list[MetricDelta]:
+    """Classify every metric present on either side.
+
+    ``tolerance`` overrides every spec's band (the CLI's
+    ``--tolerance``); ``gate_only`` drops metrics that can never gate,
+    which keeps ``--against-golden`` output focused on QoR.
+    Regressions sort first, worst first.
+    """
+    deltas: list[MetricDelta] = []
+    for key in sorted(set(baseline) | set(candidate)):
+        brow, crow = baseline.get(key), candidate.get(key)
+        row = crow or brow
+        name = row.get("name", key)
+        spec = registry.spec_for(name)
+        direction = spec.direction if spec else "none"
+        tol = tolerance if tolerance is not None else (
+            spec.rel_tol if spec else 0.05)
+        gate = spec.gate if spec else False
+        if gate_only and not gate:
+            continue
+        bval = None if brow is None else float(brow["value"])
+        cval = None if crow is None else float(crow["value"])
+        if bval is None:
+            rel, status = None, "added"
+        elif cval is None:
+            rel, status = None, "removed"
+        else:
+            if bval == cval:
+                rel = 0.0
+            elif bval == 0.0:
+                rel = math.copysign(math.inf, cval)
+            else:
+                rel = (cval - bval) / abs(bval)
+            status = _classify(rel, direction, tol)
+        deltas.append(MetricDelta(
+            key=key, name=name, stage=row.get("stage", ""),
+            unit=row.get("unit", ""), baseline=bval, candidate=cval,
+            rel=rel, status=status, direction=direction, rel_tol=tol,
+            gate=gate))
+
+    order = {"regression": 0, "changed": 1, "improvement": 2,
+             "added": 3, "removed": 3, "ok": 4}
+    deltas.sort(key=lambda d: (order.get(d.status, 5), -d.severity,
+                               d.key))
+    return deltas
+
+
+def gated_regressions(deltas: Iterable[MetricDelta]) -> list[MetricDelta]:
+    """The regressions that should fail a build."""
+    return [d for d in deltas if d.status == "regression" and d.gate]
+
+
+def _fmt(v: float | None) -> str:
+    if v is None:
+        return "-"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.4g}"
+
+
+_MARKERS = {"regression": "REGRESS", "improvement": "improve",
+            "changed": "changed", "added": "added", "removed": "removed",
+            "ok": ""}
+
+
+def render_compare(deltas: list[MetricDelta], *,
+                   title_a: str = "baseline",
+                   title_b: str = "candidate") -> str:
+    """Fixed-width comparison table, regressions first."""
+    if not deltas:
+        return "(no metrics to compare)"
+    header = (f"{'metric':<28} {'unit':<7} {title_a:>12} {title_b:>12} "
+              f"{'delta':>9} {'tol':>6}  status")
+    lines = [header, "-" * len(header)]
+    for d in deltas:
+        marker = _MARKERS.get(d.status, d.status)
+        if d.status == "regression" and not d.gate:
+            marker = "regress (ungated)"
+        lines.append(
+            f"{d.key:<28} {d.unit:<7} {_fmt(d.baseline):>12} "
+            f"{_fmt(d.candidate):>12} {d.pct():>9} "
+            f"{d.rel_tol * 100:>5.1f}%  {marker}")
+    n_reg = len(gated_regressions(deltas))
+    n_imp = sum(1 for d in deltas if d.status == "improvement")
+    lines.append("-" * len(header))
+    lines.append(f"{len(deltas)} metrics: {n_reg} gated regression(s), "
+                 f"{n_imp} improvement(s)")
+    return "\n".join(lines)
+
+
+def golden_flow_rows(path: str | os.PathLike | None = None,
+                     circuit: str | None = None
+                     ) -> dict[str, dict[str, Any]]:
+    """Read one circuit's golden flow QoR row as a metric mapping.
+
+    ``benchmarks/results/flow_qor.json`` is a list of per-circuit
+    summary dicts; the returned mapping uses the registered
+    ``flow.*`` metric names so it compares directly against a
+    recorded run.
+    """
+    path = Path(path) if path is not None else default_golden_path()
+    if not path.exists():
+        raise FileNotFoundError(
+            f"golden QoR file not found: {path} (run the benchmark "
+            f"suite to regenerate it)")
+    rows = json.loads(path.read_text())
+    circuits = [r.get("circuit", "?") for r in rows]
+    if circuit is None:
+        if len(rows) != 1:
+            raise LookupError(
+                f"golden file {path.name} covers circuits {circuits}; "
+                f"specify which circuit to compare against")
+        (row,) = rows
+    else:
+        matches = [r for r in rows if r.get("circuit") == circuit]
+        if not matches:
+            raise LookupError(
+                f"circuit {circuit!r} not in golden file {path.name} "
+                f"(has: {circuits})")
+        (row,) = matches
+    out: dict[str, dict[str, Any]] = {}
+    for field, value in row.items():
+        name = FLOW_SUMMARY_METRICS.get(field)
+        if name is None or not isinstance(value, (int, float)) \
+                or isinstance(value, bool):
+            continue
+        spec = REGISTRY.spec_for(name)
+        out[name] = {"name": name, "stage": "",
+                     "kind": spec.kind if spec else "gauge",
+                     "unit": spec.unit if spec else "",
+                     "value": float(value)}
+    return out

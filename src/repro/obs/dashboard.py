@@ -1,0 +1,301 @@
+"""Self-contained HTML QoR dashboard over the run history.
+
+One static page, no external assets: a regression banner (latest run
+vs the previous comparable run, worst first), one card per registered
+metric with an inline-SVG sparkline per circuit series, and a full
+table view of the latest values.  Colors are defined once as CSS
+custom properties with light and dark values, so the page follows the
+viewer's color scheme; every status badge pairs its color with a text
+label, and the table view restates every number, so nothing is
+encoded by color alone.
+
+Sparklines are deliberately minimal: a 2px polyline of the metric's
+history (oldest left), a dot on the latest value, and per-point
+``<title>`` hover tooltips carrying run id, date and exact value.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Any
+
+from .compare import MetricDelta, compare_rows, gated_regressions
+from .metrics import MetricRegistry, REGISTRY
+from .rundb import RunDB, RunRow
+
+__all__ = ["render_report"]
+
+_SPARK_W, _SPARK_H, _PAD = 160, 36, 4
+
+_CSS = """
+:root {
+  color-scheme: light dark;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --border: rgba(11,11,11,0.10);
+  --series: #2a78d6;
+  --good: #006300; --bad: #d03b3b; --warn: #ec835a;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --border: rgba(255,255,255,0.10);
+    --series: #3987e5;
+    --good: #0ca30c; --bad: #d03b3b; --warn: #ec835a;
+  }
+}
+* { box-sizing: border-box; }
+body { margin: 0; padding: 24px; background: var(--page);
+  color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.sub { color: var(--ink-2); margin-bottom: 18px; }
+.banner { border: 1px solid var(--border); border-radius: 8px;
+  background: var(--surface); padding: 12px 16px; margin: 12px 0; }
+.banner.ok { border-left: 4px solid var(--good); }
+.banner.bad { border-left: 4px solid var(--bad); }
+.badge { display: inline-block; padding: 1px 8px; border-radius: 10px;
+  font-size: 12px; font-weight: 600; }
+.badge.bad { color: var(--bad); border: 1px solid var(--bad); }
+.badge.good { color: var(--good); border: 1px solid var(--good); }
+.badge.flat { color: var(--muted); border: 1px solid var(--border); }
+.grid { display: grid; gap: 12px;
+  grid-template-columns: repeat(auto-fill, minmax(340px, 1fr)); }
+.card { background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 14px; }
+.card h3 { margin: 0 0 2px; font-size: 13px; font-weight: 600; }
+.card .desc { color: var(--muted); font-size: 12px; margin: 0 0 8px; }
+.row { display: flex; align-items: center; gap: 10px;
+  padding: 3px 0; }
+.row .name { flex: 0 0 84px; color: var(--ink-2); font-size: 12px;
+  overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+.row .val { flex: 0 0 86px; text-align: right;
+  font-variant-numeric: tabular-nums; }
+.row .delta { flex: 0 0 88px; text-align: right; font-size: 12px;
+  font-variant-numeric: tabular-nums; }
+.delta.bad { color: var(--bad); font-weight: 600; }
+.delta.good { color: var(--good); }
+.delta.flat { color: var(--muted); }
+.nodata { color: var(--muted); font-size: 12px; }
+svg.spark { flex: 1 1 auto; min-width: 120px; }
+svg.spark polyline { fill: none; stroke: var(--series);
+  stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
+svg.spark circle.last { fill: var(--series); }
+svg.spark circle.hit { fill: transparent; }
+svg.spark line.base { stroke: var(--grid); stroke-width: 1; }
+table { border-collapse: collapse; width: 100%;
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; }
+th, td { padding: 5px 10px; text-align: right; font-size: 13px;
+  font-variant-numeric: tabular-nums;
+  border-bottom: 1px solid var(--grid); }
+th { color: var(--ink-2); font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+tr:last-child td { border-bottom: none; }
+.footer { color: var(--muted); font-size: 12px; margin-top: 24px; }
+"""
+
+
+def _fmt(v: float | None) -> str:
+    if v is None:
+        return "-"
+    if not math.isfinite(v):
+        return "inf"
+    if v == int(v) and abs(v) < 1e15:
+        return f"{int(v):,}"
+    return f"{v:.4g}"
+
+
+def _esc(s: Any) -> str:
+    return html.escape(str(s), quote=True)
+
+
+def _sparkline(points: list[tuple[RunRow, float]], unit: str) -> str:
+    """Inline SVG trend: 2px polyline, dot on the latest value."""
+    if not points:
+        return '<span class="nodata">no data yet</span>'
+    values = [v for _, v in points]
+    vmin, vmax = min(values), max(values)
+    span = (vmax - vmin) or 1.0
+    inner_w = _SPARK_W - 2 * _PAD
+    inner_h = _SPARK_H - 2 * _PAD
+
+    def xy(i: int, v: float) -> tuple[float, float]:
+        x = _PAD + (inner_w * i / max(len(values) - 1, 1))
+        y = _PAD + inner_h * (1 - (v - vmin) / span)
+        return round(x, 1), round(y, 1)
+
+    coords = [xy(i, v) for i, v in enumerate(values)]
+    poly = " ".join(f"{x},{y}" for x, y in coords)
+    lx, ly = coords[-1]
+    hits = "".join(
+        f'<circle class="hit" cx="{x}" cy="{y}" r="7">'
+        f'<title>run {run.run_id} ({_esc(run.when)}): '
+        f'{_fmt(v)} {_esc(unit)}</title></circle>'
+        for (x, y), (run, v) in zip(coords, points))
+    base_y = _SPARK_H - 1
+    return (
+        f'<svg class="spark" viewBox="0 0 {_SPARK_W} {_SPARK_H}" '
+        f'width="{_SPARK_W}" height="{_SPARK_H}" role="img" '
+        f'aria-label="trend, {len(values)} runs, latest '
+        f'{_fmt(values[-1])} {_esc(unit)}">'
+        f'<line class="base" x1="0" y1="{base_y}" x2="{_SPARK_W}" '
+        f'y2="{base_y}"/>'
+        f'<polyline points="{poly}"/>'
+        f'<circle class="last" cx="{lx}" cy="{ly}" r="3"/>'
+        f'{hits}</svg>')
+
+
+def _delta_badge(d: MetricDelta | None) -> str:
+    if d is None or d.rel is None:
+        return '<span class="delta flat">&ndash;</span>'
+    cls = {"regression": "bad", "improvement": "good"}.get(d.status,
+                                                          "flat")
+    word = {"regression": " worse", "improvement": " better"}.get(
+        d.status, "")
+    return f'<span class="delta {cls}">{_esc(d.pct())}{word}</span>'
+
+
+def render_report(db: RunDB, *, registry: MetricRegistry = REGISTRY,
+                  label: str | None = None,
+                  circuit: str | None = None,
+                  limit: int = 60) -> str:
+    """Render the dashboard over (a filtered view of) the run DB."""
+    runs = db.runs(label=label, circuit=circuit, limit=limit)
+
+    # -- regression banner: latest vs previous run of each series ------
+    deltas_by_series: dict[tuple[str, str], list[MetricDelta]] = {}
+    seen: set[tuple[str, str]] = set()
+    for run in runs:
+        series = (run.label, run.circuit)
+        if series in seen:
+            continue
+        seen.add(series)
+        prior = db.runs(label=run.label, circuit=run.circuit, limit=2)
+        if len(prior) < 2:
+            continue
+        deltas_by_series[series] = compare_rows(
+            db.metric_rows(prior[1].run_id),
+            db.metric_rows(prior[0].run_id), registry=registry)
+    worst: list[tuple[tuple[str, str], MetricDelta]] = []
+    for series, deltas in deltas_by_series.items():
+        worst.extend((series, d) for d in gated_regressions(deltas))
+    worst.sort(key=lambda t: -t[1].severity)
+
+    if worst:
+        items = "".join(
+            f'<div class="row"><span class="badge bad">REGRESSION</span>'
+            f'<span class="name">{_esc(circ or lbl)}</span>'
+            f'<span>{_esc(d.key)}: {_fmt(d.baseline)} &rarr; '
+            f'{_fmt(d.candidate)} {_esc(d.unit)}</span>'
+            f'{_delta_badge(d)}</div>'
+            for (lbl, circ), d in worst[:20])
+        banner = (f'<div class="banner bad"><strong>{len(worst)} gated '
+                  f'regression(s)</strong> latest vs previous run, '
+                  f'worst first{items}</div>')
+    else:
+        banner = ('<div class="banner ok"><span class="badge good">OK'
+                  '</span> no gated regressions between the two most '
+                  'recent comparable runs</div>')
+
+    # -- metric cards ---------------------------------------------------
+    recorded = db.metric_names(label=label, circuit=circuit)
+    all_names = list(dict.fromkeys(registry.names() + recorded))
+    series_keys = [(r.label, r.circuit) for r in runs]
+    series_keys = list(dict.fromkeys(series_keys))[:12]
+
+    cards = []
+    for name in all_names:
+        spec = registry.spec_for(name)
+        desc = spec.description if spec else "(unregistered)"
+        unit = spec.unit if spec else ""
+        rows_html = []
+        for lbl, circ in series_keys:
+            points = db.history(name, label=lbl, circuit=circ,
+                                limit=limit)
+            if not points:
+                continue
+            delta = None
+            for d in deltas_by_series.get((lbl, circ), []):
+                if d.key == name:
+                    delta = d
+                    break
+            latest = points[-1][1]
+            rows_html.append(
+                f'<div class="row">'
+                f'<span class="name" title="{_esc(lbl)} / '
+                f'{_esc(circ)}">{_esc(circ or lbl)}</span>'
+                f'{_sparkline(points, unit)}'
+                f'<span class="val">{_fmt(latest)} {_esc(unit)}</span>'
+                f'{_delta_badge(delta)}</div>')
+        body = ("".join(rows_html) if rows_html
+                else '<p class="nodata">no data yet</p>')
+        cards.append(
+            f'<div class="card"><h3>{_esc(name)}</h3>'
+            f'<p class="desc">{_esc(desc)}</p>{body}</div>')
+
+    # -- table view (accessibility: every number restated as text) -----
+    latest_by_series = {}
+    for run in runs:
+        key = (run.label, run.circuit)
+        if key not in latest_by_series:
+            latest_by_series[key] = (run, db.metric_rows(run.run_id))
+    table_names = [n for n in all_names
+                   if any(n in {r["name"] for r in rows.values()}
+                          for _, rows in latest_by_series.values())]
+    head = "".join(f"<th>{_esc(c or l)}</th>"
+                   for l, c in latest_by_series)
+    body_rows = []
+    for name in table_names:
+        cells = []
+        for key in latest_by_series:
+            _, rows = latest_by_series[key]
+            match = [r for r in rows.values() if r["name"] == name
+                     and not r["stage"]]
+            if not match:
+                match = [r for r in rows.values() if r["name"] == name]
+            cells.append(f"<td>{_fmt(match[0]['value']) if match else '-'}"
+                         f"</td>")
+        unit = (registry.spec_for(name).unit
+                if registry.spec_for(name) else "")
+        body_rows.append(f"<tr><td>{_esc(name)}"
+                         f"{' (' + _esc(unit) + ')' if unit else ''}"
+                         f"</td>{''.join(cells)}</tr>")
+    table = (f'<table><thead><tr><th>metric</th>{head}</tr></thead>'
+             f'<tbody>{"".join(body_rows)}</tbody></table>'
+             if body_rows else '<p class="nodata">no runs recorded '
+             'yet</p>')
+
+    scope = []
+    if label:
+        scope.append(f"label={label}")
+    if circuit:
+        scope.append(f"circuit={circuit}")
+    scope_txt = f" ({', '.join(scope)})" if scope else ""
+    revs = sorted({r.git_rev for r in runs if r.git_rev})
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro QoR dashboard</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>repro QoR dashboard</h1>
+<p class="sub">{len(runs)} run(s) from {_esc(db.path)}{_esc(scope_txt)}
+&middot; revisions: {_esc(", ".join(revs) if revs else "n/a")}</p>
+{banner}
+<h2>Metric trends (oldest &rarr; latest)</h2>
+<div class="grid">{"".join(cards)}</div>
+<h2>Latest values</h2>
+{table}
+<p class="footer">Generated by <code>repro-flow report --html</code>.
+Gated metrics fail <code>repro-flow compare</code> when they move past
+their registered tolerance in the bad direction.</p>
+</body>
+</html>
+"""

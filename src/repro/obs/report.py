@@ -17,21 +17,52 @@ import json
 import os
 from typing import Any, Iterable
 
-__all__ = ["load_jsonl", "build_tree", "render_tree", "aggregate",
-           "render_stats", "format_seconds"]
+__all__ = ["TraceReadError", "load_jsonl", "build_tree", "render_tree",
+           "aggregate", "render_stats", "format_seconds"]
 
 #: Attributes rendered specially rather than as ``k=v``.
 _SPECIAL_ATTRS = ("cache_hit",)
 
 
+class TraceReadError(RuntimeError):
+    """A trace file could not be read: missing, unreadable or truncated.
+
+    Raised with a human-oriented message so the CLI can print it
+    verbatim and exit cleanly instead of surfacing a traceback.
+    """
+
+
 def load_jsonl(path: str | os.PathLike) -> list[dict[str, Any]]:
-    """Read one span record per line; blank lines are skipped."""
+    """Read one span record per line; blank lines are skipped.
+
+    Raises :class:`TraceReadError` (with the offending line number for
+    truncated/corrupt files) rather than leaking ``FileNotFoundError``
+    or ``json.JSONDecodeError`` to the caller.
+    """
     records = []
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    try:
+        with open(path) as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceReadError(
+                        f"{path}: line {lineno} is not valid JSON "
+                        f"({exc.msg}); the trace file is truncated or "
+                        f"corrupt") from exc
+                if not isinstance(rec, dict):
+                    raise TraceReadError(
+                        f"{path}: line {lineno} is not a span record "
+                        f"(expected a JSON object, got "
+                        f"{type(rec).__name__})")
+                records.append(rec)
+    except OSError as exc:
+        raise TraceReadError(
+            f"cannot read trace file {path}: {exc.strerror or exc}"
+        ) from exc
     return records
 
 

@@ -181,6 +181,9 @@ def place(cn: ClusteredNetlist, arch: ArchParams, *,
         cost = wirelength_cost(loc, nets)
         sp.set_attr(temps=n_temps, moves=n_moves, accepted=n_accepted,
                     cost=round(cost, 3))
+    ms = obs.metrics.metric_set()
+    ms.counter("place.moves", n_moves)
+    ms.gauge("place.bbox_cost", round(cost, 3))
     return Placement(arch, grid_size, loc, cost, nets)
 
 

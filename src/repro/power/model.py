@@ -71,6 +71,21 @@ class PowerReport:
             "total_mW": round(self.total_w * 1e3, 4),
         }
 
+    def metrics(self) -> dict[str, float]:
+        """Registered QoR metric values (``repro.obs.metrics.REGISTRY``).
+
+        The per-component breakdown under the flow's metric
+        vocabulary; ``flow.total_mW`` itself is published from the
+        flow summary alongside the other headline QoR numbers.
+        """
+        s = self.stats()
+        return {
+            "flow.routing_mW": s["routing_mW"],
+            "flow.logic_mW": s["logic_mW"],
+            "flow.clock_mW": s["clock_mW"],
+            "flow.leakage_mW": s["leakage_mW"],
+        }
+
 
 def clb_transistor_count(arch: ArchParams) -> int:
     """Transistor estimate for one CLB (logic + configuration).

@@ -93,6 +93,9 @@ def route(placement: Placement, g: RRGraph, *,
         sp.set_attr(success=result.success,
                     iterations=result.iterations,
                     overused=result.overused)
+    ms = obs.metrics.metric_set()
+    ms.counter("route.iterations", result.iterations)
+    ms.gauge("route.overused", result.overused)
     return result
 
 
@@ -245,4 +248,7 @@ def route_min_channel_width(placement: Placement, arch: ArchParams,
             else:
                 lo = mid + 1
         sp.set_attr(attempts=attempts, channel_width=best[0])
+    # The binary search may end on a failing probe; the gauge must
+    # reflect the winning attempt, not the last width tried.
+    obs.metrics.metric_set().gauge("route.overused", best[1].overused)
     return best

@@ -47,6 +47,21 @@ class TimingReport:
             "data_rate_MHz": round(self.data_rate_hz / 1e6, 2),
         }
 
+    def metrics(self) -> dict[str, float]:
+        """Registered QoR metric values (``repro.obs.metrics.REGISTRY``).
+
+        Keys are the flow's metric vocabulary, so the report can be
+        published straight into an ambient metric set::
+
+            obs.metrics.publish_many(report.metrics())
+        """
+        s = self.stats()
+        return {
+            "flow.critical_path_ns": s["critical_path_ns"],
+            "flow.fmax_MHz": s["fmax_MHz"],
+            "flow.data_rate_MHz": s["data_rate_MHz"],
+        }
+
 
 def elmore_sink_delays(tree: RouteTree, g: RRGraph,
                        sinks: list[int]) -> dict[int, float]:

@@ -1,0 +1,15 @@
+"""Test-wide isolation for the persistent observability stores.
+
+The CLI records every successful ``flow``/``vpr``/``exp`` invocation
+into the run DB (``$REPRO_RUN_DB`` or ``~/.cache/repro/runs.db``).
+Tests must never append to the developer's real QoR history, so every
+test gets a throwaway DB path by default; tests that exercise the DB
+explicitly pass their own ``--run-db``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_db(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUN_DB", str(tmp_path / "test-runs.db"))

@@ -1,0 +1,170 @@
+"""Unit tests for the typed QoR metric registry (:mod:`repro.obs.metrics`).
+
+Covers spec validation, the three metric kinds and their accumulation
+semantics, publish-time type/kind checking, export/merge round-trips
+(the worker-process path), the ambient ``collect`` context, and the
+``profiled`` resource hook.
+"""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics as m
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        reg = m.MetricRegistry()
+        spec = m.MetricSpec("x.count", m.COUNTER, "items", "things seen")
+        reg.register(spec)
+        assert reg.spec_for("x.count") is spec
+        assert "x.count" in reg and len(reg) == 1
+        assert reg.names() == ["x.count"]
+
+    def test_reregistering_identical_spec_is_idempotent(self):
+        reg = m.MetricRegistry()
+        reg.register(m.MetricSpec("a", m.GAUGE, "u", "d"))
+        reg.register(m.MetricSpec("a", m.GAUGE, "u", "d"))
+        assert len(reg) == 1
+
+    def test_conflicting_respec_rejected(self):
+        reg = m.MetricRegistry()
+        reg.register(m.MetricSpec("a", m.GAUGE, "u", "d"))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(m.MetricSpec("a", m.COUNTER, "u", "d"))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kind": "histogram"},
+        {"direction": "up"},
+        {"rel_tol": -0.1},
+        {"name": ""},
+    ])
+    def test_invalid_spec_fields_rejected(self, kwargs):
+        base = {"name": "a", "kind": m.GAUGE, "unit": "",
+                "description": ""}
+        with pytest.raises(ValueError):
+            m.MetricSpec(**{**base, **kwargs})
+
+    def test_flow_vocabulary_is_registered_and_gated(self):
+        for name in m.FLOW_SUMMARY_METRICS.values():
+            assert m.REGISTRY.spec_for(name) is not None, name
+        assert m.REGISTRY.spec_for("flow.critical_path_ns").gate
+        assert m.REGISTRY.spec_for("flow.total_mW").gate
+        # Resource metrics ride along but never gate a build.
+        assert not m.REGISTRY.spec_for("flow.seconds").gate
+        assert not m.REGISTRY.spec_for("exp.job_seconds").gate
+
+
+class TestMetricSet:
+    def test_counter_sums(self):
+        ms = m.MetricSet()
+        ms.counter("exp.jobs", 2)
+        ms.counter("exp.jobs", 3)
+        assert ms.value("exp.jobs") == 5
+
+    def test_gauge_last_write_wins(self):
+        ms = m.MetricSet()
+        ms.gauge("flow.luts", 10)
+        ms.gauge("flow.luts", 12)
+        assert ms.value("flow.luts") == 12
+
+    def test_dist_reports_mean_min_max(self):
+        ms = m.MetricSet()
+        for v in (1.0, 2.0, 6.0):
+            ms.dist("exp.job_seconds", v)
+        (row,) = ms.export()
+        assert row["value"] == pytest.approx(3.0)
+        assert row["min"] == 1.0 and row["max"] == 6.0 and row["n"] == 3
+
+    def test_stage_tag_separates_series(self):
+        ms = m.MetricSet()
+        ms.dist("flow.seconds", 1.0, stage="synthesis")
+        ms.dist("flow.seconds", 9.0, stage="place_route")
+        d = ms.as_dict()
+        assert d["flow.seconds[synthesis]"] == 1.0
+        assert d["flow.seconds[place_route]"] == 9.0
+
+    @pytest.mark.parametrize("bad", [True, "7", None, object()])
+    def test_non_numeric_values_rejected(self, bad):
+        with pytest.raises(TypeError):
+            m.MetricSet().publish("x", bad)
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_non_finite_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            m.MetricSet().publish("x", bad)
+
+    def test_kind_mismatch_with_registry_rejected(self):
+        ms = m.MetricSet()
+        with pytest.raises(ValueError, match="registered as"):
+            ms.counter("flow.luts")     # flow.luts is a gauge
+
+    def test_negative_counter_increment_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            m.MetricSet().counter("exp.jobs", -1)
+
+    def test_unregistered_name_defaults_to_gauge(self):
+        ms = m.MetricSet()
+        ms.publish("custom.thing", 4.2)
+        (row,) = ms.export()
+        assert row["kind"] == m.GAUGE and row["value"] == 4.2
+
+    def test_export_merge_roundtrip(self):
+        worker = m.MetricSet()
+        worker.counter("exp.jobs", 3)
+        worker.gauge("flow.luts", 20)
+        worker.dist("exp.job_seconds", 2.0)
+        worker.dist("exp.job_seconds", 4.0)
+
+        parent = m.MetricSet()
+        parent.counter("exp.jobs", 1)
+        parent.dist("exp.job_seconds", 6.0)
+        parent.merge(worker.export())
+
+        assert parent.value("exp.jobs") == 4          # counters add
+        assert parent.value("flow.luts") == 20        # gauges adopt
+        # Distribution aggregates fold: mean over all 3 samples.
+        assert parent.value("exp.job_seconds") == pytest.approx(4.0)
+        (row,) = [r for r in parent.export()
+                  if r["name"] == "exp.job_seconds"]
+        assert row["n"] == 3 and row["min"] == 2.0 and row["max"] == 6.0
+
+
+class TestAmbient:
+    def test_collect_installs_and_restores(self):
+        outer = m.metric_set()
+        with m.collect() as ms:
+            assert m.metric_set() is ms
+            m.counter("exp.jobs")
+            m.annotate(circuit="c17")
+        assert m.metric_set() is outer
+        assert ms.value("exp.jobs") == 1
+        assert ms.context["circuit"] == "c17"
+
+    def test_publish_many(self):
+        with m.collect() as ms:
+            m.publish_many({"flow.luts": 18, "flow.clbs": 7})
+        assert ms.value("flow.luts") == 18
+        assert ms.value("flow.clbs") == 7
+
+
+class TestProfiled:
+    def test_profiled_attaches_span_attrs_and_metrics(self):
+        with obs.capture() as tr, m.collect() as ms:
+            with obs.span("flow.synthesis") as sp:
+                with m.profiled(sp, "flow", stage="synthesis"):
+                    sum(range(10000))
+        (rec,) = [r for r in tr.export()
+                  if r["name"] == "flow.synthesis"]
+        assert rec["attrs"]["cpu_s"] >= 0.0
+        assert rec["attrs"]["peak_rss_kb"] > 0
+        assert ms.get("flow.cpu_s", stage="synthesis") is not None
+        assert ms.get("flow.peak_rss_kb", stage="synthesis") > 0
+
+    def test_profiled_skips_noop_span_entirely(self):
+        with m.collect() as ms:
+            with m.profiled(obs.NOOP_SPAN, "flow", stage="x"):
+                pass
+        assert len(ms) == 0

@@ -208,6 +208,56 @@ class TestReports:
         assert obs.format_seconds(s) == expect
 
 
+class TestRendererEdgeCases:
+    """Degenerate traces the renderers must survive verbatim."""
+
+    @staticmethod
+    def rec(**kw):
+        base = {"span_id": "t:1", "parent_id": None, "name": "s",
+                "t_wall": 1.0, "seconds": 0.0, "attrs": {},
+                "counters": {}}
+        base.update(kw)
+        return base
+
+    def test_zero_duration_span(self):
+        recs = [self.rec(name="instant", seconds=0.0)]
+        assert "instant  0s" in obs.render_tree(recs)
+        stats = obs.render_stats(recs)
+        assert "instant" in stats and "0s" in stats
+
+    def test_span_with_no_attributes(self):
+        recs = [self.rec(name="bare", attrs={}, counters={})]
+        line = obs.render_tree(recs).splitlines()[0]
+        assert line == "bare  0s"       # no trailing k=v noise
+
+    def test_missing_optional_fields(self):
+        # A record written by an older tracer: no attrs/counters keys,
+        # seconds None.
+        recs = [{"span_id": "t:1", "parent_id": None, "name": "old",
+                 "t_wall": 1.0, "seconds": None}]
+        recs[0].pop("seconds")
+        assert obs.render_tree(recs).startswith("old")
+        assert obs.aggregate(recs)[0]["count"] == 1
+
+    def test_unicode_labels_roundtrip(self, tmp_path):
+        with obs.capture() as tr:
+            with obs.span("flow.synthèse", circuit="càé-フロー") as sp:
+                sp.incr("движения", 2)
+        path = tmp_path / "u.jsonl"
+        tr.write_jsonl(path)
+        recs = obs.load_jsonl(path)
+        tree = obs.render_tree(recs)
+        assert "flow.synthèse" in tree and "càé-フロー" in tree
+        assert "движения=2" in tree
+        assert "flow.synthèse" in obs.render_stats(recs)
+
+    def test_single_span_tree_has_no_branch_glyphs(self):
+        recs = [self.rec(name="solo", seconds=1.0)]
+        tree = obs.render_tree(recs)
+        assert tree == "solo  1.00s"
+        assert "|-" not in tree and "`-" not in tree
+
+
 # ---------------------------------------------------------------------------
 # Integration: flow and CLI
 # ---------------------------------------------------------------------------
@@ -276,6 +326,41 @@ class TestCli:
                          "--cache-dir", str(tmp_path / "cache")]) == 0
         capsys.readouterr()
         assert by_name(obs.load_jsonl(trace), "flow.run")
+
+    @pytest.mark.parametrize("cmd", ["trace", "stats"])
+    def test_missing_trace_file_exits_two(self, tmp_path, capsys, cmd):
+        rc = cli_main([cmd, str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot read trace file" in err
+
+    @pytest.mark.parametrize("cmd", ["trace", "stats"])
+    def test_empty_trace_file_exits_two(self, tmp_path, capsys, cmd):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        rc = cli_main([cmd, str(path)])
+        assert rc == 2
+        assert "contains no spans" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("cmd", ["trace", "stats"])
+    def test_truncated_trace_file_exits_two(self, tmp_path, capsys,
+                                            cmd):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"span_id": "a:1", "name": "ok", '
+                        '"parent_id": null, "t_wall": 1.0, '
+                        '"seconds": 0.1, "attrs": {}, "counters": {}}\n'
+                        '{"span_id": "a:2", "name": "trunc')
+        rc = cli_main([cmd, str(path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err and "truncated or corrupt" in err
+
+    def test_non_object_line_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "list.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        rc = cli_main(["trace", str(path)])
+        assert rc == 2
+        assert "not a span record" in capsys.readouterr().err
 
     def test_exp_trace_records_batch(self, tmp_path, capsys):
         trace = tmp_path / "exp.jsonl"

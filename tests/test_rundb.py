@@ -1,0 +1,330 @@
+"""Run-history store, regression comparison and QoR reporting tests.
+
+Covers the SQLite :class:`~repro.obs.rundb.RunDB` round-trip (record /
+resolve / history), the delta classifier's tolerance bands and
+directions, the golden-baseline reader, and the CLI acceptance
+contract: ``compare --against-golden`` exits 0 on an unmodified run,
+exits non-zero when a synthetic 10 % critical-path (or energy)
+regression is injected, and ``report --html`` covers every registered
+flow metric.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.flow.cli import main as cli_main
+from repro.obs import metrics as m
+
+
+def golden_rows():
+    return obs.golden_flow_rows(circuit="count8")
+
+
+def perturbed(rows, name, factor):
+    out = {k: dict(v) for k, v in rows.items()}
+    out[name]["value"] *= factor
+    return out
+
+
+@pytest.fixture
+def db(tmp_path):
+    with obs.RunDB(tmp_path / "runs.db") as db:
+        yield db
+
+
+class TestRunDB:
+    def test_record_and_read_back(self, db):
+        ms = m.MetricSet()
+        ms.gauge("flow.luts", 18)
+        ms.dist("flow.seconds", 0.5, stage="synthesis")
+        ms.context.update(circuit="count8", seed=7)
+        run_id = db.record_run("flow", ms, trace_path="t.jsonl",
+                               rev="abc1234", code_version="deadbeef")
+        row = db.run(run_id)
+        assert row.label == "flow"
+        assert row.circuit == "count8" and row.seed == 7
+        assert row.git_rev == "abc1234"
+        assert row.code_version == "deadbeef"
+        assert row.trace_path == "t.jsonl"
+        metrics = db.metric_rows(run_id)
+        assert metrics["flow.luts"]["value"] == 18
+        assert metrics["flow.seconds[synthesis]"]["value"] == 0.5
+
+    def test_append_only_ordering_and_len(self, db):
+        ids = [db.record_run("flow", [], rev="", code_version="")
+               for _ in range(3)]
+        assert ids == sorted(ids)
+        assert len(db) == 3
+        assert [r.run_id for r in db.runs()] == ids[::-1]
+
+    def test_resolve_tokens(self, db):
+        a = db.record_run("flow", [], rev="", code_version="")
+        b = db.record_run("vpr", [], rev="", code_version="")
+        assert db.resolve(str(a)).run_id == a
+        assert db.resolve("latest").run_id == b
+        assert db.resolve("latest~1").run_id == a
+        assert db.resolve("latest", label="flow").run_id == a
+
+    @pytest.mark.parametrize("token", ["latest~9", "99", "newest", ""])
+    def test_resolve_failures_raise_lookuperror(self, db, token):
+        db.record_run("flow", [], rev="", code_version="")
+        with pytest.raises(LookupError):
+            db.resolve(token)
+
+    def test_history_series_oldest_first(self, db):
+        for v in (10.0, 11.0, 12.0):
+            ms = m.MetricSet()
+            ms.gauge("flow.fmax_MHz", v)
+            db.record_run("flow", ms, circuit="c", rev="",
+                          code_version="")
+        series = db.history("flow.fmax_MHz", circuit="c")
+        assert [v for _, v in series] == [10.0, 11.0, 12.0]
+        assert db.metric_names() == ["flow.fmax_MHz"]
+
+
+class TestCompare:
+    def test_identical_runs_all_ok(self):
+        rows = golden_rows()
+        deltas = obs.compare_rows(rows, rows)
+        assert all(d.status == "ok" for d in deltas)
+        assert obs.gated_regressions(deltas) == []
+
+    def test_lower_is_better_regression(self):
+        rows = golden_rows()
+        worse = perturbed(rows, "flow.critical_path_ns", 1.10)
+        deltas = obs.compare_rows(rows, worse)
+        (reg,) = obs.gated_regressions(deltas)
+        assert reg.name == "flow.critical_path_ns"
+        assert reg.rel == pytest.approx(0.10)
+        # Regressions sort first.
+        assert deltas[0] is reg
+
+    def test_higher_is_better_direction(self):
+        rows = golden_rows()
+        slower = perturbed(rows, "flow.fmax_MHz", 0.80)
+        deltas = obs.compare_rows(rows, slower)
+        assert any(d.name == "flow.fmax_MHz"
+                   and d.status == "regression" for d in deltas)
+        faster = perturbed(rows, "flow.fmax_MHz", 1.20)
+        deltas = obs.compare_rows(rows, faster)
+        assert any(d.name == "flow.fmax_MHz"
+                   and d.status == "improvement" for d in deltas)
+
+    def test_within_tolerance_is_ok(self):
+        rows = golden_rows()
+        slight = perturbed(rows, "flow.critical_path_ns", 1.04)  # 5% tol
+        deltas = obs.compare_rows(rows, slight)
+        assert obs.gated_regressions(deltas) == []
+
+    def test_tolerance_override(self):
+        rows = golden_rows()
+        slight = perturbed(rows, "flow.critical_path_ns", 1.04)
+        deltas = obs.compare_rows(rows, slight, tolerance=0.01)
+        assert obs.gated_regressions(deltas)
+
+    def test_zero_tolerance_metrics_gate_exactly(self):
+        rows = golden_rows()
+        worse = perturbed(rows, "flow.channel_width", 14 / 12)
+        (reg,) = obs.gated_regressions(obs.compare_rows(rows, worse))
+        assert reg.name == "flow.channel_width"
+
+    def test_added_and_removed(self):
+        rows = golden_rows()
+        candidate = {k: v for k, v in rows.items()
+                     if k != "flow.total_mW"}
+        candidate["place.bbox_cost"] = {
+            "name": "place.bbox_cost", "stage": "", "unit": "bb",
+            "value": 28.0}
+        by_key = {d.key: d for d in obs.compare_rows(rows, candidate)}
+        assert by_key["flow.total_mW"].status == "removed"
+        assert by_key["place.bbox_cost"].status == "added"
+
+    def test_zero_baseline_yields_infinite_delta(self):
+        base = {"route.overused": {"name": "route.overused",
+                                   "stage": "", "value": 0.0}}
+        cand = {"route.overused": {"name": "route.overused",
+                                   "stage": "", "value": 3.0}}
+        (d,) = obs.compare_rows(base, cand)
+        assert d.status == "regression" and d.pct() == "+inf%"
+
+    def test_ungated_regression_never_fails(self):
+        base = {"flow.seconds": {"name": "flow.seconds", "stage": "",
+                                 "value": 1.0}}
+        cand = {"flow.seconds": {"name": "flow.seconds", "stage": "",
+                                 "value": 2.0}}
+        deltas = obs.compare_rows(base, cand)
+        assert deltas[0].status == "regression"
+        assert obs.gated_regressions(deltas) == []
+
+    def test_render_compare_marks_regressions(self):
+        rows = golden_rows()
+        worse = perturbed(rows, "flow.critical_path_ns", 1.10)
+        text = obs.render_compare(obs.compare_rows(rows, worse))
+        assert "REGRESS" in text
+        assert "1 gated regression(s)" in text
+
+
+class TestGolden:
+    def test_golden_reader_maps_summary_fields(self):
+        rows = golden_rows()
+        assert set(rows) == set(m.FLOW_SUMMARY_METRICS.values())
+        assert rows["flow.luts"]["value"] == 18
+
+    def test_missing_circuit_and_file_raise(self, tmp_path):
+        with pytest.raises(LookupError, match="nosuch"):
+            obs.golden_flow_rows(circuit="nosuch")
+        with pytest.raises(LookupError, match="circuit"):
+            obs.golden_flow_rows()            # ambiguous: many circuits
+        with pytest.raises(FileNotFoundError):
+            obs.golden_flow_rows(tmp_path / "absent.json")
+
+    def test_single_row_golden_needs_no_circuit(self, tmp_path):
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps([{"circuit": "only", "luts": 5}]))
+        rows = obs.golden_flow_rows(path)
+        assert rows["flow.luts"]["value"] == 5
+
+
+def record_golden_run(db_path, rows, label="flow"):
+    with obs.RunDB(db_path) as db:
+        return db.record_run(label, list(rows.values()),
+                             circuit="count8", rev="", code_version="")
+
+
+class TestCliGate:
+    """The acceptance contract for ``repro-flow compare``."""
+
+    def test_unmodified_run_exits_zero(self, tmp_path, capsys):
+        db_path = tmp_path / "runs.db"
+        record_golden_run(db_path, golden_rows())
+        rc = cli_main(["compare", "--against-golden",
+                       "--circuit", "count8",
+                       "--run-db", str(db_path)])
+        assert rc == 0
+        assert "0 gated regression(s)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("metric,factor", [
+        ("flow.critical_path_ns", 1.10),   # 10% slower critical path
+        ("flow.total_mW", 1.10),           # 10% more energy
+    ])
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys,
+                                               metric, factor):
+        db_path = tmp_path / "runs.db"
+        record_golden_run(db_path, perturbed(golden_rows(), metric,
+                                             factor))
+        rc = cli_main(["compare", "--against-golden",
+                       "--circuit", "count8",
+                       "--run-db", str(db_path)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESS" in out and metric in out
+
+    def test_run_vs_run_defaults_to_last_two(self, tmp_path, capsys):
+        db_path = tmp_path / "runs.db"
+        record_golden_run(db_path, golden_rows())
+        record_golden_run(db_path, perturbed(golden_rows(),
+                                             "flow.wirelength", 1.50))
+        rc = cli_main(["compare", "--run-db", str(db_path)])
+        assert rc == 1
+        assert "flow.wirelength" in capsys.readouterr().out
+
+    def test_unknown_run_reference_exits_two(self, tmp_path, capsys):
+        db_path = tmp_path / "runs.db"
+        record_golden_run(db_path, golden_rows())
+        rc = cli_main(["compare", "7", "99",
+                       "--run-db", str(db_path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_db_against_golden_exits_two(self, tmp_path, capsys):
+        rc = cli_main(["compare", "--against-golden",
+                       "--run-db", str(tmp_path / "empty.db")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCliHistoryAndReport:
+    def test_history_lists_runs_and_metric_trend(self, tmp_path,
+                                                 capsys):
+        db_path = tmp_path / "runs.db"
+        record_golden_run(db_path, golden_rows())
+        record_golden_run(db_path, golden_rows())
+        assert cli_main(["history", "--run-db", str(db_path)]) == 0
+        out = capsys.readouterr().out
+        assert "count8" in out and "fmax" in out
+
+        assert cli_main(["history", "--run-db", str(db_path),
+                         "--metric", "flow.fmax_MHz"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("702.65") == 2
+
+    def test_history_empty_db_exits_two(self, tmp_path, capsys):
+        rc = cli_main(["history", "--run-db",
+                       str(tmp_path / "empty.db")])
+        assert rc == 2
+        assert "no runs recorded" in capsys.readouterr().err
+
+    def test_report_covers_every_registered_flow_metric(self, tmp_path,
+                                                        capsys):
+        db_path = tmp_path / "runs.db"
+        record_golden_run(db_path, golden_rows())
+        out_html = tmp_path / "qor.html"
+        assert cli_main(["report", "--run-db", str(db_path),
+                         "--html", str(out_html)]) == 0
+        html = out_html.read_text()
+        for name in m.REGISTRY.names("flow."):
+            assert name in html, f"dashboard missing {name}"
+        # Self-contained: no external resources.
+        assert "http://" not in html and "https://" not in html
+        assert "prefers-color-scheme" in html   # dark mode
+
+    def test_report_flags_latest_regression(self, tmp_path):
+        db_path = tmp_path / "runs.db"
+        record_golden_run(db_path, golden_rows())
+        record_golden_run(db_path, perturbed(
+            golden_rows(), "flow.critical_path_ns", 1.25))
+        out_html = tmp_path / "qor.html"
+        assert cli_main(["report", "--run-db", str(db_path),
+                         "--html", str(out_html)]) == 0
+        assert "REGRESSION" in out_html.read_text()
+
+    def test_report_empty_db_exits_two(self, tmp_path, capsys):
+        rc = cli_main(["report", "--run-db",
+                       str(tmp_path / "empty.db"),
+                       "--html", str(tmp_path / "q.html")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCliRecording:
+    def test_flow_records_run_with_qor(self, tmp_path, capsys):
+        from tests.test_flow import COUNTER_VHDL
+        vhd = tmp_path / "c.vhd"
+        vhd.write_text(COUNTER_VHDL)
+        db_path = tmp_path / "runs.db"
+        assert cli_main(["flow", str(vhd),
+                         "--cache-dir", str(tmp_path / "cache"),
+                         "--run-db", str(db_path)]) == 0
+        assert "recorded run" in capsys.readouterr().err
+        with obs.RunDB(db_path) as db:
+            (row,) = db.runs()
+            assert row.label == "flow" and row.circuit == "counter"
+            metrics = db.metric_rows(row.run_id)
+            for name in m.FLOW_SUMMARY_METRICS.values():
+                assert name in metrics, name
+            assert metrics["flow.luts"]["value"] > 0
+            assert "place.bbox_cost" in metrics
+            assert "route.iterations" in metrics
+
+    def test_no_run_db_flag_skips_recording(self, tmp_path, capsys):
+        from tests.test_flow import COUNTER_VHDL
+        vhd = tmp_path / "c.vhd"
+        vhd.write_text(COUNTER_VHDL)
+        db_path = tmp_path / "runs.db"
+        assert cli_main(["flow", str(vhd), "--no-run-db",
+                         "--cache-dir", str(tmp_path / "cache"),
+                         "--run-db", str(db_path)]) == 0
+        capsys.readouterr()
+        assert not db_path.exists()
