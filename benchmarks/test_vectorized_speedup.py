@@ -1,0 +1,108 @@
+"""Batched transient-engine speedup demonstration (acceptance driver).
+
+Runs the full 96-point Figs. 8-10 study (three metal configurations
+x 8 switch widths x 4 wire lengths) two ways, cold both times:
+
+1. the scalar oracle path -- :func:`sweep_pass_transistor`, one
+   circuit per :func:`simulate` call, exactly what the seed executed;
+2. the batched tensor engine -- :func:`measure_routing_batch` with
+   per-point metal geometry, the whole study as ONE 96-circuit batch.
+
+Neither side touches the result cache, so the comparison is pure
+simulation wall-clock.  The batched engine must be at least 10x
+faster over the whole study, and every row must match the scalar
+oracle within the golden-regression tolerance (the banded batch solve
+is tolerance-identical, not bit-identical).
+
+The run is recorded to a RunDB (``sim.batch_size`` distribution plus
+the measured ``sim.batch_speedup`` gauge) so the history tooling can
+chart engine performance over time, and the row numbers are saved to
+``results/vectorized_speedup.json``.
+"""
+
+import math
+import time
+
+from conftest import save_results
+
+from repro import obs
+from repro.circuit.experiments import FIG_METAL_CONFIGS
+from repro.circuit.interconnect import (measure_routing_batch,
+                                        sweep_pass_transistor)
+from repro.obs.rundb import RunDB
+
+WIDTHS = [1.0, 2.0, 4.0, 8.0, 10.0, 16.0, 32.0, 64.0]
+LENGTHS = [1, 2, 4, 8]
+DT = 4e-12
+RTOL = 1e-4  # same bound the golden-regression layer enforces
+
+
+def _scalar_study():
+    out = {}
+    for fig, cfg in FIG_METAL_CONFIGS.items():
+        out[fig] = sweep_pass_transistor(WIDTHS, LENGTHS, dt=DT, **cfg)
+    return out
+
+
+def _batched_study():
+    points = [(w, length, cfg["metal_width"], cfg["metal_spacing"])
+              for cfg in FIG_METAL_CONFIGS.values()
+              for length in LENGTHS for w in WIDTHS]
+    it = iter(measure_routing_batch(points, dt=DT))
+    return {fig: {length: [next(it) for _ in WIDTHS]
+                  for length in LENGTHS}
+            for fig in FIG_METAL_CONFIGS}
+
+
+def _assert_rows_match(scalar, batched):
+    for fig in FIG_METAL_CONFIGS:
+        for length in LENGTHS:
+            for ms, mb in zip(scalar[fig][length], batched[fig][length]):
+                assert (mb.width_mult, mb.wire_length) \
+                    == (ms.width_mult, ms.wire_length)
+                for field in ("energy", "delay"):
+                    a, b = getattr(ms, field), getattr(mb, field)
+                    assert math.isclose(a, b, rel_tol=RTOL,
+                                        abs_tol=1e-18), (
+                        f"{fig} L{length} w{ms.width_mult} {field}: "
+                        f"scalar {a!r} vs batched {b!r}")
+                assert mb.area == ms.area
+
+
+def test_batched_engine_speedup_vs_scalar_oracle(tmp_path):
+    t0 = time.perf_counter()
+    scalar = _scalar_study()
+    t_scalar = time.perf_counter() - t0
+
+    with obs.metrics.collect() as ms:
+        t0 = time.perf_counter()
+        batched = _batched_study()
+        t_batched = time.perf_counter() - t0
+
+    _assert_rows_match(scalar, batched)
+
+    n_points = len(FIG_METAL_CONFIGS) * len(WIDTHS) * len(LENGTHS)
+    speedup = t_scalar / t_batched
+    ms.gauge("sim.batch_speedup", speedup)
+    print(f"\n{n_points}-point study: scalar {t_scalar:.2f}s | "
+          f"batched {t_batched:.2f}s ({speedup:.1f}x)")
+
+    with RunDB(tmp_path / "runs.db") as db:
+        run_id = db.record_run(
+            "bench.vectorized_speedup", ms,
+            context={"points": n_points, "dt": DT})
+        rows = db.metric_rows(run_id)
+    assert rows["sim.batch_speedup"]["value"] == speedup
+    assert rows["sim.batch_size"]["n"] == 1
+    assert rows["sim.batch_size"]["total"] == n_points
+
+    save_results("vectorized_speedup", {
+        "points": n_points,
+        "scalar_s": t_scalar,
+        "batched_s": t_batched,
+        "speedup": speedup,
+    })
+
+    assert speedup >= 10.0, (
+        f"batched engine only {speedup:.1f}x faster than the scalar "
+        f"oracle over the {n_points}-point study")

@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from .. import obs
+from .. import impls, obs
 from ..exp import JobSpec, ParallelRunner, default_runner
+from .batchsim import simulate_batch
 from .clockgate import GatedClockSetup, build_ble_clock, build_clb_clock
 from .flipflops import DETFF_VARIANTS
-from .interconnect import RoutingMeasurement, sweep_pass_transistor
+from .interconnect import (RoutingMeasurement, measure_routing_batch,
+                           sweep_pass_transistor)
 from .metrics import crossing_times, worst_case_delay
 from .network import Circuit
 from .simulator import simulate
@@ -50,15 +52,8 @@ FIG_METAL_CONFIGS = {
 }
 
 
-def characterize_detff(name: str, *, tech: Technology = STM018,
-                       dt: float = 1e-12) -> dict[str, float]:
-    """Characterise one DETFF with the Fig. 4 stimulus.
-
-    Returns total supply energy over the sequence, worst-case
-    clock-to-Q delay over all edge/data combinations, their product,
-    and a functional-correctness flag (Q equals D-at-edge after every
-    clock edge).
-    """
+def _detff_circuit(name: str, tech: Technology) -> tuple[Circuit, float]:
+    """Fig. 4 characterisation circuit for one DETFF variant."""
     builder = DETFF_VARIANTS[name]
     ckt = Circuit(tech=tech, title=f"detff-{name}")
     d = ckt.node("d")
@@ -69,8 +64,11 @@ def characterize_detff(name: str, *, tech: Technology = STM018,
     clkw, dataw, t_end = fig4_stimulus(tech.vdd)
     ckt.voltage_source(clk, clkw)
     ckt.voltage_source(d, dataw)
-    res = simulate(ckt, t_end, dt=dt)
+    return ckt, t_end
 
+
+def _detff_row(name: str, res, tech: Technology) -> dict[str, float]:
+    """Energy / delay / EDP / functional row from one transient."""
     t = res.time
     vq, vd, vc = res.v("q"), res.v("d"), res.v("clk")
     th = tech.vdd / 2.0
@@ -91,6 +89,61 @@ def characterize_detff(name: str, *, tech: Technology = STM018,
     }
 
 
+def characterize_detff(name: str, *, tech: Technology = STM018,
+                       dt: float = 1e-12) -> dict[str, float]:
+    """Characterise one DETFF with the Fig. 4 stimulus.
+
+    Returns total supply energy over the sequence, worst-case
+    clock-to-Q delay over all edge/data combinations, their product,
+    and a functional-correctness flag (Q equals D-at-edge after every
+    clock edge).
+    """
+    ckt, t_end = _detff_circuit(name, tech)
+    res = simulate(ckt, t_end, dt=dt)
+    return _detff_row(name, res, tech)
+
+
+def characterize_detff_batch(names: list[str], *,
+                             tech: Technology = STM018,
+                             dt: float = 1e-12
+                             ) -> list[dict[str, float]]:
+    """Characterise several DETFFs in one batched transient run."""
+    built = [_detff_circuit(name, tech) for name in names]
+    results = simulate_batch([c for c, _ in built],
+                             [t for _, t in built], dt=dt)
+    return [_detff_row(name, res, tech)
+            for name, res in zip(names, results)]
+
+
+def clock_cell_setup(level: str, gated: bool, *,
+                     enable: int | None = None,
+                     data_active: bool = True,
+                     n_on: int | None = None) -> GatedClockSetup:
+    """Build one Table 2/3 clock-network configuration."""
+    if level == "ble":
+        return build_ble_clock(gated=gated, enable=enable,
+                               data_active=data_active)
+    if level == "clb":
+        if n_on is None:
+            raise ValueError("clb clock cell needs n_on")
+        return build_clb_clock(gated=gated, n_on=n_on)
+    raise ValueError(f"unknown clock level {level!r}")
+
+
+def clock_cell_energies_batch(configs: list[dict], *,
+                              dt: float = 1e-12) -> list[float]:
+    """Steady-state energies of several clock configurations (J).
+
+    ``configs`` entries are keyword dicts for :func:`clock_cell_setup`;
+    all transients run as one batch.
+    """
+    setups = [clock_cell_setup(**cfg) for cfg in configs]
+    results = simulate_batch([s.circuit for s in setups],
+                             [s.t_sim for s in setups], dt=dt)
+    return [res.energy_between(s.t_start, s.t_end)
+            for s, res in zip(setups, results)]
+
+
 def _values(specs: list[JobSpec], runner: ParallelRunner | None,
             driver: str) -> list:
     """Submit through the engine (env-configured default if none)."""
@@ -101,10 +154,25 @@ def _values(specs: list[JobSpec], runner: ParallelRunner | None,
 
 
 def run_table1(*, tech: Technology = STM018, dt: float = 1e-12,
-               runner: ParallelRunner | None = None
-               ) -> list[dict[str, float]]:
-    """Table 1: all five DETFF candidates, in the paper's row order."""
-    specs = [JobSpec.make("detff", name=name, tech=tech, dt=dt)
+               runner: ParallelRunner | None = None,
+               impl: str | None = None) -> list[dict[str, float]]:
+    """Table 1: all five DETFF candidates, in the paper's row order.
+
+    With the (default) batched implementation all five flip-flops run
+    as one tensor-shaped transient inside a single job; the scalar
+    oracle fans out one job per variant.  The resolved implementation's
+    version tag is a job parameter, so the two paths can never share a
+    cache entry.
+    """
+    impl = impls.sim_impl(impl)
+    tag = impls.impl_version("sim", impl)
+    if impl == impls.BATCHED:
+        spec = JobSpec.make("detff_batch", names=list(DETFF_VARIANTS),
+                            tech=tech, dt=dt, sim_version=tag)
+        (rows,) = _values([spec], runner, "table1")
+        return rows
+    specs = [JobSpec.make("detff", name=name, tech=tech, dt=dt,
+                          sim_version=tag)
              for name in DETFF_VARIANTS]
     return _values(specs, runner, "table1")
 
@@ -115,22 +183,39 @@ def _cycle_energy(setup: GatedClockSetup, dt: float) -> float:
     return res.energy_between(setup.t_start, setup.t_end)
 
 
+def _clock_cell_energies(configs: list[dict], dt: float,
+                         runner: ParallelRunner | None, driver: str,
+                         impl: str | None) -> list[float]:
+    """Table 2/3 energies: one batched job or one job per config."""
+    impl = impls.sim_impl(impl)
+    tag = impls.impl_version("sim", impl)
+    if impl == impls.BATCHED:
+        spec = JobSpec.make("clock_cells_batch", configs=configs,
+                            dt=dt, sim_version=tag)
+        (energies,) = _values([spec], runner, driver)
+        return energies
+    specs = [JobSpec.make("clock_cell", dt=dt, sim_version=tag, **cfg)
+             for cfg in configs]
+    return _values(specs, runner, driver)
+
+
 def run_table2(*, dt: float = 1e-12,
-               runner: ParallelRunner | None = None) -> dict[str, float]:
+               runner: ParallelRunner | None = None,
+               impl: str | None = None) -> dict[str, float]:
     """Table 2: BLE-level single vs gated clock energies (fJ/cycle).
 
     Returns single-clock energy, gated energy with enable=1 and
     enable=0, and the derived percentages the paper quotes (saving at
     enable=0, overhead at enable=1).
     """
-    specs = [
-        JobSpec.make("clock_cell", level="ble", gated=False, dt=dt),
-        JobSpec.make("clock_cell", level="ble", gated=True, enable=1,
-                     dt=dt),
-        JobSpec.make("clock_cell", level="ble", gated=True, enable=0,
-                     data_active=False, dt=dt),
+    configs = [
+        {"level": "ble", "gated": False},
+        {"level": "ble", "gated": True, "enable": 1},
+        {"level": "ble", "gated": True, "enable": 0,
+         "data_active": False},
     ]
-    e_single, e_gate1, e_gate0 = _values(specs, runner, "table2")
+    e_single, e_gate1, e_gate0 = _clock_cell_energies(
+        configs, dt, runner, "table2", impl)
     return {
         "single_fJ": e_single / 1e-15,
         "gated_en1_fJ": e_gate1 / 1e-15,
@@ -141,14 +226,14 @@ def run_table2(*, dt: float = 1e-12,
 
 
 def run_table3(*, dt: float = 1e-12,
-               runner: ParallelRunner | None = None
-               ) -> list[dict[str, float]]:
+               runner: ParallelRunner | None = None,
+               impl: str | None = None) -> list[dict[str, float]]:
     """Table 3: CLB-level single vs gated clock for three conditions."""
     conditions = (("all_off", 0), ("one_on", 1), ("all_on", 5))
-    specs = [JobSpec.make("clock_cell", level="clb", gated=gated,
-                          n_on=n_on, dt=dt)
-             for _, n_on in conditions for gated in (False, True)]
-    energies = iter(_values(specs, runner, "table3"))
+    configs = [{"level": "clb", "gated": gated, "n_on": n_on}
+               for _, n_on in conditions for gated in (False, True)]
+    energies = iter(_clock_cell_energies(configs, dt, runner,
+                                         "table3", impl))
     rows = []
     for label, n_on in conditions:
         e_single = next(energies)
@@ -185,14 +270,17 @@ def run_fig_sweep(fig: str, *, widths: list[float] | None = None,
                   switch_type: str = "pass",
                   tech: Technology = STM018,
                   dt: float = 2e-12,
-                  runner: ParallelRunner | None = None
+                  runner: ParallelRunner | None = None,
+                  impl: str | None = None
                   ) -> dict[int, list[RoutingMeasurement]]:
     """Figs. 8/9/10 (or the 3.3.2 buffer study): EDA vs switch width.
 
-    ``fig`` is one of ``"fig8"``, ``"fig9"``, ``"fig10"``.  Every
-    (wire length, width) point is an independent job, so the full grid
-    parallelises across the runner's workers; rows come back grouped
-    by wire length with widths in the order given.
+    ``fig`` is one of ``"fig8"``, ``"fig9"``, ``"fig10"``.  With the
+    (default) batched implementation the whole grid runs as a single
+    tensor-shaped job; with the scalar oracle every (wire length,
+    width) point is an independent job fanned out across the runner's
+    workers.  Rows come back grouped by wire length with widths in the
+    order given either way.
     """
     if fig not in FIG_METAL_CONFIGS:
         raise ValueError(f"unknown figure {fig!r}")
@@ -202,10 +290,22 @@ def run_fig_sweep(fig: str, *, widths: list[float] | None = None,
     if switch_type == "tbuf":
         # The paper caps buffers at 16x minimum.
         widths = [w for w in widths if w <= 16.0]
-    specs = [JobSpec.make("fig_point", width_mult=w, wire_length=length,
-                          switch_type=switch_type, tech=tech, dt=dt,
-                          **cfg)
-             for length in wire_lengths for w in widths]
-    values = iter(_values(specs, runner, fig))
+    impl = impls.sim_impl(impl)
+    tag = impls.impl_version("sim", impl)
+    if impl == impls.BATCHED:
+        points = [[w, length]
+                  for length in wire_lengths for w in widths]
+        spec = JobSpec.make("fig_sweep_batch", points=points,
+                            switch_type=switch_type, tech=tech, dt=dt,
+                            sim_version=tag, **cfg)
+        (rows,) = _values([spec], runner, fig)
+        values = iter(rows)
+    else:
+        specs = [JobSpec.make("fig_point", width_mult=w,
+                              wire_length=length,
+                              switch_type=switch_type, tech=tech,
+                              dt=dt, sim_version=tag, **cfg)
+                 for length in wire_lengths for w in widths]
+        values = iter(_values(specs, runner, fig))
     return {length: [next(values) for _ in widths]
             for length in wire_lengths}

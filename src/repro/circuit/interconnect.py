@@ -246,6 +246,63 @@ def measure_routing(
                               energy=energy, delay=delay, area=area)
 
 
+def measure_routing_batch(
+    points: list[tuple[float, int]],
+    *,
+    metal_width: float = 1.0,
+    metal_spacing: float = 1.0,
+    n_segments: int = 3,
+    switch_type: str = "pass",
+    tech: Technology = STM018,
+    dt: float = 2e-12,
+) -> list[RoutingMeasurement]:
+    """Simulate many ``(width_mult, wire_length)`` sizing points at once.
+
+    Builds the same circuits and stimulus as :func:`measure_routing`
+    but runs them through the batched transient engine in a single
+    tensor-shaped pass; rows come back in the order of ``points``.
+
+    A point may also carry its own metal geometry as a 4-tuple
+    ``(width_mult, wire_length, metal_width, metal_spacing)``, which
+    overrides the keyword defaults for that row -- so a multi-figure
+    study (Figs. 8-10 differ only in metal pitch) can run as one
+    batch.
+    """
+    from .batchsim import simulate_batch
+
+    vdd = tech.vdd
+    ckts = []
+    t_ends = []
+    meta = []
+    for point in points:
+        width_mult, wire_length = point[0], point[1]
+        mw = point[2] if len(point) > 2 else metal_width
+        msp = point[3] if len(point) > 3 else metal_spacing
+        ckt, a, out, area = build_routing_experiment(
+            width_mult=width_mult, wire_length=wire_length,
+            metal_width=mw, metal_spacing=msp,
+            n_segments=n_segments, switch_type=switch_type, tech=tech)
+        t_half = max(4e-9, wire_length * n_segments * 0.5e-9)
+        wave = pulse_train([(0.2e-9, vdd), (0.2e-9 + t_half, 0.0)],
+                           v_init=0.0)
+        ckt.voltage_source(ckt.node(a), wave)
+        ckts.append(ckt)
+        t_ends.append(0.2e-9 + 2 * t_half)
+        meta.append((width_mult, wire_length, a, out, area, t_half))
+
+    results = simulate_batch(ckts, t_ends, dt=dt)
+    out_rows = []
+    for res, (width_mult, wire_length, a, out, area, t_half) in zip(
+            results, meta):
+        energy = res.energy
+        delay = worst_case_delay(res.time, res.v(a), res.v(out), vdd,
+                                 max_delay=t_half)
+        out_rows.append(RoutingMeasurement(
+            width_mult=width_mult, wire_length=wire_length,
+            energy=energy, delay=delay, area=area))
+    return out_rows
+
+
 def sweep_pass_transistor(
     widths: list[float],
     wire_lengths: list[int],

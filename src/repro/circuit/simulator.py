@@ -35,6 +35,80 @@ C_FLOOR = 0.05e-15
 G_MIN = 1e-9
 
 
+def mos_currents(v: np.ndarray, m_d: np.ndarray, m_g: np.ndarray,
+                 m_s: np.ndarray, m_p: np.ndarray, m_beta: np.ndarray,
+                 m_vt: np.ndarray, m_lam: np.ndarray,
+                 m_ioff: np.ndarray):
+    """Vectorised square-law MOSFET evaluation at node voltages ``v``.
+
+    Shared by the scalar and the batched engine so the device model has
+    exactly one definition; the terminal-index arrays may address one
+    circuit or a block-diagonal stack of many.  Returns ``(i_ds, g_d,
+    g_g, g_s)`` where ``i_ds`` is the signed channel current from drain
+    to source and ``g_*`` its partial derivatives w.r.t. the
+    drain/gate/source node voltages.
+    """
+    vd = v[m_d]
+    vs = v[m_s]
+    vg = v[m_g]
+    swap = vd < vs
+    v_hi = np.maximum(vd, vs)
+    v_lo = np.minimum(vd, vs)
+    vds = v_hi - v_lo
+
+    # Overdrive: NMOS references the low terminal, PMOS the high one.
+    vov = np.where(m_p, v_hi - vg, vg - v_lo) - m_vt
+
+    beta = m_beta
+    lam = m_lam
+
+    on = vov > 0.0
+    lin = on & (vds < vov)
+    sat = on & ~lin
+
+    # Sub-threshold leakage everywhere 'on' is false; lin | sat == on,
+    # so the on-region selections below replace every 'on' entry.
+    ids = m_ioff * np.minimum(vds / 0.1, 1.0)
+    d_dvds = m_ioff / 0.1 * (vds < 0.1)
+    d_dvov = np.zeros(beta.shape)
+
+    # The (1 + lam*vds) factor is applied in both regions so current
+    # is continuous at the vds = vov boundary (prevents Newton limit
+    # cycles at switching instants).
+    clm = 1.0 + lam * vds
+    lin_i = beta * (vov * vds - 0.5 * vds * vds)
+    ids = np.where(lin, lin_i * clm, ids)
+    d_dvds = np.where(lin, beta * (vov - vds) * clm + lin_i * lam,
+                      d_dvds)
+    d_dvov = np.where(lin, beta * vds * clm, d_dvov)
+
+    sat_i0 = 0.5 * beta * vov * vov
+    ids = np.where(sat, sat_i0 * clm, ids)
+    d_dvds = np.where(sat, sat_i0 * lam, d_dvds)
+    d_dvov = np.where(sat, beta * vov * clm, d_dvov)
+
+    # gmin shunt for convergence.
+    ids += G_MIN * vds
+    d_dvds += G_MIN
+
+    # Magnitude derivatives w.r.t. (hi, lo, gate) node voltages; the
+    # PMOS/NMOS split needs a single select because negation and
+    # addition are sign-symmetric under IEEE rounding.
+    d_dvov_p = np.where(m_p, d_dvov, 0.0)
+    d_dvov_n = d_dvov - d_dvov_p
+    g_hi = d_dvds + d_dvov_p
+    g_lo = -(d_dvds + d_dvov_n)
+    g_gm = d_dvov_n - d_dvov_p
+
+    # Signed drain->source current and its derivatives.
+    sgn = np.where(swap, -1.0, 1.0)
+    i_ds = sgn * ids
+    g_d = np.where(swap, -g_lo, g_hi)
+    g_s = np.where(swap, -g_hi, g_lo)
+    g_g = sgn * g_gm
+    return i_ds, g_d, g_g, g_s
+
+
 @dataclass
 class TransientResult:
     """Waveforms and supply-energy trace from a transient run."""
@@ -65,6 +139,36 @@ class TransientResult:
 
 class ConvergenceError(RuntimeError):
     """Raised when Newton iteration fails to converge at some timestep."""
+
+
+class NewtonConvergenceError(ConvergenceError):
+    """Newton failure with the offending nodes and timestep attached.
+
+    ``nodes`` are the node *names* that were furthest from convergence
+    (largest ``|dv|``) on the final attempt, ``time`` the simulation
+    time of the failed step and ``dt`` the step size in use when it
+    failed.  The message carries all three so the failure is actionable
+    even after crossing a process boundary as a structured
+    :class:`repro.exp.JobError` (which preserves only ``exc_type`` and
+    the message text).
+    """
+
+    def __init__(self, message: str, *, nodes: list[str] | None = None,
+                 time: float = 0.0, dt: float = 0.0):
+        super().__init__(message)
+        self.nodes = list(nodes or [])
+        self.time = time
+        self.dt = dt
+
+    @classmethod
+    def at_step(cls, *, time: float, dt: float, nodes: list[str],
+                detail: str = "") -> "NewtonConvergenceError":
+        where = ", ".join(nodes) if nodes else "<unknown>"
+        msg = (f"Newton failed to converge at t={time:.4e}s "
+               f"(dt={dt:.3e}s) on node(s): {where}")
+        if detail:
+            msg += f" [{detail}]"
+        return cls(msg, nodes=nodes, time=time, dt=dt)
 
 
 class TransientSimulator:
@@ -166,60 +270,9 @@ class TransientSimulator:
         channel current from drain to source and ``g_*`` its partial
         derivatives w.r.t. the drain/gate/source node voltages.
         """
-        vd = v[self.m_d]
-        vs = v[self.m_s]
-        vg = v[self.m_g]
-        swap = vd < vs
-        v_hi = np.maximum(vd, vs)
-        v_lo = np.minimum(vd, vs)
-        vds = v_hi - v_lo
-
-        # Overdrive: NMOS references the low terminal, PMOS the high one.
-        vov = np.where(self.m_p, v_hi - vg, vg - v_lo) - self.m_vt
-
-        beta = self.m_beta
-        lam = self.m_lam
-
-        on = vov > 0.0
-        lin = on & (vds < vov)
-        sat = on & ~lin
-
-        ids = np.where(on, 0.0, self.m_ioff * np.minimum(vds / 0.1, 1.0))
-        d_dvds = np.where(on, 0.0, self.m_ioff / 0.1 * (vds < 0.1))
-        d_dvov = np.zeros(self.n_mos)
-
-        # The (1 + lam*vds) factor is applied in both regions so current
-        # is continuous at the vds = vov boundary (prevents Newton limit
-        # cycles at switching instants).
-        clm = 1.0 + lam * vds
-        lin_i = beta * (vov * vds - 0.5 * vds * vds)
-        ids = np.where(lin, lin_i * clm, ids)
-        d_dvds = np.where(lin, beta * (vov - vds) * clm + lin_i * lam,
-                          d_dvds)
-        d_dvov = np.where(lin, beta * vds * clm, d_dvov)
-
-        sat_i0 = 0.5 * beta * vov * vov
-        ids = np.where(sat, sat_i0 * clm, ids)
-        d_dvds = np.where(sat, sat_i0 * lam, d_dvds)
-        d_dvov = np.where(sat, beta * vov * clm, d_dvov)
-
-        # gmin shunt for convergence.
-        ids = ids + G_MIN * vds
-        d_dvds = d_dvds + G_MIN
-
-        # Magnitude derivatives w.r.t. (hi, lo, gate) node voltages.
-        p = self.m_p
-        g_hi = d_dvds + np.where(p, d_dvov, 0.0)
-        g_lo = -d_dvds + np.where(p, 0.0, -d_dvov)
-        g_gm = np.where(p, -d_dvov, d_dvov)
-
-        # Signed drain->source current and its derivatives.
-        sgn = np.where(swap, -1.0, 1.0)
-        i_ds = sgn * ids
-        g_d = np.where(swap, -g_lo, g_hi)
-        g_s = np.where(swap, -g_hi, g_lo)
-        g_g = sgn * g_gm
-        return i_ds, g_d, g_g, g_s
+        return mos_currents(v, self.m_d, self.m_g, self.m_s, self.m_p,
+                            self.m_beta, self.m_vt, self.m_lam,
+                            self.m_ioff)
 
     # ------------------------------------------------------------------
     def _eval(self, v: np.ndarray):
@@ -284,16 +337,26 @@ class TransientSimulator:
 
         vdd_idx = self.vdd_idx
 
+        def worst_nodes(dv: np.ndarray | None) -> list[str]:
+            """Names of the free nodes furthest from convergence."""
+            if dv is None or not dv.size:
+                return []
+            order = np.argsort(-np.abs(dv))[:3]
+            return [ckt.node_name(free[i]) for i in order
+                    if abs(dv[i]) >= tol]
+
         def newton_step(v_prev: np.ndarray, v_src: np.ndarray,
                         h: float):
             """One backward-Euler step of size ``h``.
 
-            Returns ``(v_new, supply_current)`` or ``(None, 0)`` on
-            Newton failure.
+            Returns ``(v_new, supply_current)``, or on Newton failure
+            ``(None, diagnostic)`` where the diagnostic is the list of
+            offending node names (empty for a singular Jacobian).
             """
             g_ch = cap_free / h
             vv = v_prev.copy()
             vv[src_idx] = v_src
+            dv = None
             for _ in range(max_newton):
                 inj, jac = self._eval(vv)
                 resid = g_ch * (vv[free] - v_prev[free]) - inj[free]
@@ -302,13 +365,13 @@ class TransientSimulator:
                 try:
                     dv = np.linalg.solve(jac, -resid)
                 except np.linalg.LinAlgError:
-                    return None, 0.0
+                    return None, []
                 np.clip(dv, -0.6, 0.6, out=dv)
                 vv[free] += dv
                 if np.abs(dv).max() < tol:
                     # Current leaving the vdd node = -inj[vdd].
                     return vv, -inj[vdd_idx]
-            return None, 0.0
+            return None, worst_nodes(dv)
 
         # Record initial point.
         inj0, _ = self._eval(v)
@@ -331,9 +394,12 @@ class TransientSimulator:
                     v_src = src_prev + frac * (src_now - src_prev)
                     v_new, cur = newton_step(v_new, v_src, dt / n_sub)
                     if v_new is None:
-                        raise ConvergenceError(
-                            f"Newton failed at t={step * dt:.3e} even "
-                            f"with substepping")
+                        raise NewtonConvergenceError.at_step(
+                            time=step * dt, dt=dt / n_sub,
+                            nodes=cur,
+                            detail=(f"substep {k}/{n_sub}; singular "
+                                    f"Jacobian" if not cur else
+                                    f"substep {k}/{n_sub}"))
             v = v_new
 
             if step % record_every == 0:

@@ -8,11 +8,19 @@ rebuild the registry from a bare interpreter.
 
 Kinds
 -----
-``detff``       one Table 1 flip-flop characterisation row
-``clock_cell``  one Table 2/3 clock-network energy measurement (J)
-``fig_point``   one Fig. 8-10 / tri-state sizing point
-``flow``        one complete VHDL-to-bitstream flow (condensed result)
-``selftest``    trivial built-in probe for engine/start-method tests
+``detff``             one Table 1 flip-flop characterisation row
+``detff_batch``       all Table 1 flip-flops, one batched transient
+``clock_cell``        one Table 2/3 clock-network energy measurement (J)
+``clock_cells_batch`` several clock configurations, one batched run
+``fig_point``         one Fig. 8-10 / tri-state sizing point
+``fig_sweep_batch``   a whole Fig. 8-10 sizing grid, one batched run
+``flow``              one complete VHDL-to-bitstream flow (condensed)
+``selftest``          trivial built-in probe for engine tests
+
+The batch kinds and the ``sim_version`` parameter of the per-point
+kinds exist so the content-addressed cache keys always encode which
+transient-engine implementation produced a value: batched results can
+never alias scalar-oracle ones.
 """
 
 from __future__ import annotations
@@ -75,37 +83,51 @@ def _selftest(x: float = 1.0, fail: bool = False) -> float:
 # ---------------------------------------------------------------------------
 
 @task("detff")
-def _detff(name: str, tech=None, dt: float = 1e-12) -> dict[str, float]:
+def _detff(name: str, tech=None, dt: float = 1e-12,
+           sim_version: str = "") -> dict[str, float]:
     from ..circuit.experiments import characterize_detff
     from ..circuit.technology import STM018
     return characterize_detff(name, tech=tech or STM018, dt=dt)
 
 
+@task("detff_batch")
+def _detff_batch(names, tech=None, dt: float = 1e-12,
+                 sim_version: str = "") -> list:
+    """All requested DETFFs, one batched transient run."""
+    from ..circuit.experiments import characterize_detff_batch
+    from ..circuit.technology import STM018
+    return characterize_detff_batch(list(names), tech=tech or STM018,
+                                    dt=dt)
+
+
 @task("clock_cell")
 def _clock_cell(level: str, gated: bool, dt: float = 1e-12,
                 enable: int | None = None, data_active: bool = True,
-                n_on: int | None = None) -> float:
+                n_on: int | None = None,
+                sim_version: str = "") -> float:
     """Steady-state energy of one clock-network configuration (J)."""
-    from ..circuit.clockgate import build_ble_clock, build_clb_clock
+    from ..circuit.experiments import clock_cell_setup
     from ..circuit.simulator import simulate
-    if level == "ble":
-        setup = build_ble_clock(gated=gated, enable=enable,
-                                data_active=data_active)
-    elif level == "clb":
-        if n_on is None:
-            raise ValueError("clb clock cell needs n_on")
-        setup = build_clb_clock(gated=gated, n_on=n_on)
-    else:
-        raise ValueError(f"unknown clock level {level!r}")
+    setup = clock_cell_setup(level, gated, enable=enable,
+                             data_active=data_active, n_on=n_on)
     res = simulate(setup.circuit, setup.t_sim, dt=dt)
     return res.energy_between(setup.t_start, setup.t_end)
+
+
+@task("clock_cells_batch")
+def _clock_cells_batch(configs, dt: float = 1e-12,
+                       sim_version: str = "") -> list:
+    """Several clock-network configurations, one batched run."""
+    from ..circuit.experiments import clock_cell_energies_batch
+    return clock_cell_energies_batch([dict(cfg) for cfg in configs],
+                                     dt=dt)
 
 
 @task("fig_point")
 def _fig_point(width_mult: float, wire_length: int, *,
                metal_width: float = 1.0, metal_spacing: float = 1.0,
                switch_type: str = "pass", tech=None,
-               dt: float = 2e-12):
+               dt: float = 2e-12, sim_version: str = ""):
     from ..circuit.interconnect import measure_routing
     from ..circuit.technology import STM018
     return measure_routing(width_mult=width_mult,
@@ -116,6 +138,20 @@ def _fig_point(width_mult: float, wire_length: int, *,
                            tech=tech or STM018, dt=dt)
 
 
+@task("fig_sweep_batch")
+def _fig_sweep_batch(points, *, metal_width: float = 1.0,
+                     metal_spacing: float = 1.0,
+                     switch_type: str = "pass", tech=None,
+                     dt: float = 2e-12, sim_version: str = "") -> list:
+    """A whole (width, wire-length) sizing grid, one batched run."""
+    from ..circuit.interconnect import measure_routing_batch
+    from ..circuit.technology import STM018
+    return measure_routing_batch(
+        [(w, int(length)) for w, length in points],
+        metal_width=metal_width, metal_spacing=metal_spacing,
+        switch_type=switch_type, tech=tech or STM018, dt=dt)
+
+
 # ---------------------------------------------------------------------------
 # CAD-flow benchmarks
 # ---------------------------------------------------------------------------
@@ -124,7 +160,8 @@ def _fig_point(width_mult: float, wire_length: int, *,
 def _flow(vhdl: str, *, seed: int = 1, place_effort: float = 1.0,
           min_channel_width: bool = False, gated_clock: bool = True,
           f_clk_hz: float | None = None, arch=None,
-          use_cache: bool = True) -> dict[str, Any]:
+          use_cache: bool = True, place_impl: str = "auto",
+          route_impl: str = "auto") -> dict[str, Any]:
     """Run the full flow; return a condensed, picklable QoR record."""
     from ..arch import DEFAULT_ARCH
     from ..flow.flow import FlowOptions, run_flow
@@ -132,7 +169,8 @@ def _flow(vhdl: str, *, seed: int = 1, place_effort: float = 1.0,
                           place_effort=place_effort,
                           min_channel_width=min_channel_width,
                           gated_clock=gated_clock, f_clk_hz=f_clk_hz,
-                          use_cache=use_cache)
+                          use_cache=use_cache, place_impl=place_impl,
+                          route_impl=route_impl)
     res = run_flow(vhdl, options)
     return {
         "summary": res.summary(),

@@ -30,7 +30,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .. import obs
+from .. import impls, obs
 from ..arch import (ArchParams, DEFAULT_ARCH, build_rr_graph,
                     generate_arch_file)
 from ..bitgen import generate_bitstream
@@ -65,6 +65,8 @@ class FlowOptions:
     work_dir: str | None = None       # write artifacts here if set
     use_cache: bool = True            # content-addressed stage cache
     cache_dir: str | None = None      # None -> REPRO_CACHE_DIR default
+    place_impl: str = "auto"          # repro.impls: scalar | incremental
+    route_impl: str = "auto"
 
 
 @dataclass
@@ -254,18 +256,30 @@ class DesignFlow:
 
         def run():
             pl = place(self.result.clustered, opts.arch,
-                       seed=opts.seed, effort=opts.place_effort)
+                       seed=opts.seed, effort=opts.place_effort,
+                       impl=opts.place_impl)
             if opts.min_channel_width:
-                w, rr, g = route_min_channel_width(pl, opts.arch)
+                w, rr, g = route_min_channel_width(
+                    pl, opts.arch, impl=opts.route_impl)
             else:
                 g = build_rr_graph(opts.arch, pl.grid_size)
-                rr = route(pl, g)
+                rr = route(pl, g, impl=opts.route_impl)
                 if not rr.success:
-                    w, rr, g = route_min_channel_width(pl, opts.arch)
+                    w, rr, g = route_min_channel_width(
+                        pl, opts.arch, impl=opts.route_impl)
             return pl, rr, g
+        # The resolved impl versions join the stage key so results
+        # from one implementation can never alias another's cache
+        # entry (both impls are exact today, but the key must not
+        # rely on that invariant).
+        impl_tags = (
+            impls.impl_version("place", impls.place_impl(opts.place_impl)),
+            impls.impl_version("route", impls.route_impl(opts.route_impl)),
+        )
         pl, rr, g = self._cached_stage(
             "place_route",
-            (opts.seed, opts.place_effort, opts.min_channel_width), run,
+            (opts.seed, opts.place_effort, opts.min_channel_width,
+             *impl_tags), run,
             qor=lambda v: {"grid": v[0].grid_size,
                            "bbox_cost": round(v[0].cost, 2),
                            "channel_width": v[1].channel_width,

@@ -455,15 +455,27 @@ for _spec in [
                "exit", direction="lower"),
     MetricSpec("flow.cache_hits", COUNTER, "stages", "flow stages "
                "served from the result cache"),
+    # -- batched transient engine --------------------------------------
+    MetricSpec("sim.batch_size", DIST, "circuits", "independent circuits "
+               "stacked per batched transient run", direction="higher"),
+    MetricSpec("sim.batch_speedup", GAUGE, "x", "measured wall-clock "
+               "speedup of the batched engine over the scalar oracle",
+               direction="higher"),
     # -- placer / router internals -------------------------------------
     MetricSpec("place.moves", COUNTER, "moves", "annealing moves "
                "attempted"),
     MetricSpec("place.bbox_cost", GAUGE, "bb", "final placement cost",
                direction="lower", rel_tol=0.02, gate=True),
+    MetricSpec("place.incremental_evals", COUNTER, "evals", "move "
+               "evaluations served by the incremental bounding-box "
+               "cost structures"),
     MetricSpec("route.iterations", COUNTER, "iters", "PathFinder "
                "rip-up/re-route iterations", direction="lower"),
     MetricSpec("route.overused", GAUGE, "nodes", "overused rr-nodes at "
                "exit", direction="lower", rel_tol=0.0, gate=True),
+    MetricSpec("route.heap_reuse", COUNTER, "heaps", "Dijkstra "
+               "expansions served from persistent router cost "
+               "structures instead of full rebuilds"),
     # -- experiment engine ---------------------------------------------
     MetricSpec("exp.jobs", COUNTER, "jobs", "jobs submitted"),
     MetricSpec("exp.cache_hits", COUNTER, "jobs", "jobs served from "

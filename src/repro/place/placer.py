@@ -17,7 +17,9 @@ import math
 import random
 from dataclasses import dataclass, field
 
-from .. import obs
+import numpy as np
+
+from .. import impls, obs
 from ..arch.fabric import FabricGrid, Site
 from ..arch.params import ArchParams
 from ..pack.cluster import ClusteredNetlist
@@ -71,14 +73,230 @@ def wirelength_cost(placement: dict[str, Site],
     return sum(_net_bbox_cost(placement, net) for net in nets.values())
 
 
+class _ScalarCost:
+    """Reference cost model: full per-net bbox recompute on every move.
+
+    This is the original (oracle) implementation; ``_IncrementalCost``
+    must reproduce its accept/reject decisions bit-for-bit, so every
+    float operation here defines the contract: deltas accumulate
+    left-to-right over ``sorted(affected)`` and the drift-cancel total
+    sums ``net_cost`` in nets-dict insertion order.
+    """
+
+    def __init__(self, loc: dict[str, Site], nets: dict[str, dict],
+                 nets_of: dict[str, list[str]]):
+        self.loc = loc
+        self.nets = nets
+        self.nets_of = nets_of
+        self.net_cost = {name: _net_bbox_cost(loc, net)
+                         for name, net in nets.items()}
+        self.evals = 0
+        self._old: dict[str, float] = {}
+
+    def affected(self, block: str, other: str | None) -> list[str]:
+        # Sorted order so the float delta sums identically regardless
+        # of PYTHONHASHSEED; set order would make accept decisions
+        # (and thus the whole placement) vary between processes.
+        s = set(self.nets_of.get(block, ()))
+        if other is not None:
+            s |= set(self.nets_of.get(other, ()))
+        return sorted(s)
+
+    def trial(self, affected: list[str], moves) -> float:
+        self.evals += len(affected)
+        net_cost = self.net_cost
+        old = {n: net_cost[n] for n in affected}
+        delta = 0.0
+        for n in affected:
+            new = _net_bbox_cost(self.loc, self.nets[n])
+            delta += new - old[n]
+            net_cost[n] = new
+        self._old = old
+        return delta
+
+    def revert(self, affected: list[str], moves) -> None:
+        for n, c in self._old.items():
+            self.net_cost[n] = c
+
+    def total(self) -> float:
+        return sum(self.net_cost.values())
+
+
+class _IncrementalCost:
+    """O(pins-moved) cost model with per-net running bbox bounds.
+
+    Each net keeps one flat record ``[min_x, c_min_x, max_x, c_max_x,
+    min_y, c_min_y, max_y, c_max_y, cost]`` where the ``c_*`` entries
+    count how many member blocks sit on that boundary; a move updates
+    only the nets touching the moved blocks in O(1), rescanning an
+    axis over the net's members only when a boundary count drops to
+    zero.  Net ids are assigned in sorted-name order so iterating ids
+    ascending reproduces the scalar model's ``sorted(affected)``
+    float-summation order exactly; spans stay python ints and costs
+    are the same ``q * span`` product, so every delta is bit-identical
+    to :class:`_ScalarCost`.
+    """
+
+    def __init__(self, loc: dict[str, Site], nets: dict[str, dict]):
+        names = sorted(nets)
+        self.idx = {n: i for i, n in enumerate(names)}
+        self.bid = {b: i for i, b in enumerate(loc)}
+        self.bx = [s.x for s in loc.values()]
+        self.by = [s.y for s in loc.values()]
+        nn = len(names)
+        self.q = [0.0] * nn
+        self.members: list[list[int]] = [[] for _ in range(nn)]
+        self.bounds: list[list] = [[] for _ in range(nn)]
+        self._by_block: list[list[int]] = [[] for _ in self.bid]
+        for name, net in nets.items():
+            i = self.idx[name]
+            pins = [net["driver"], *net["sinks"]]
+            self.q[i] = _q(len(pins))
+            uniq = sorted({self.bid[b] for b in pins})
+            self.members[i] = uniq
+            for b in uniq:
+                self._by_block[b].append(i)
+            xs = [self.bx[b] for b in uniq]
+            ys = [self.by[b] for b in uniq]
+            mnx, mxx = min(xs), max(xs)
+            mny, mxy = min(ys), max(ys)
+            span = (mxx - mnx + 1) + (mxy - mny + 1)
+            self.bounds[i] = [mnx, xs.count(mnx), mxx, xs.count(mxx),
+                              mny, ys.count(mny), mxy, ys.count(mxy),
+                              self.q[i] * span]
+        # Drift-cancel totals must sum in nets-dict insertion order to
+        # match the scalar model's sum(net_cost.values()).
+        self._order = [self.idx[n] for n in nets]
+        self.evals = 0
+        self._snap: list[tuple[int, list]] = []
+
+    def affected(self, block: str, other: str | None) -> list[int]:
+        s = set(self._by_block[self.bid[block]])
+        if other is not None:
+            s |= set(self._by_block[self.bid[other]])
+        return sorted(s)
+
+    def trial(self, affected: list[int], moves) -> float:
+        self.evals += len(affected)
+        bounds = self.bounds
+        bx = self.bx
+        by = self.by
+        q = self.q
+        snap = [(i, bounds[i].copy()) for i in affected]
+        self._snap = snap
+        # Apply one move at a time so any axis rescan sees coordinates
+        # consistent with the bounds being rebuilt.
+        for blk, old_site, new_site in moves:
+            bid = self.bid[blk]
+            ox = old_site.x
+            oy = old_site.y
+            wx = new_site.x
+            wy = new_site.y
+            bx[bid] = wx
+            by[bid] = wy
+            for i in self._by_block[bid]:
+                b = bounds[i]
+                changed = False
+                if wx != ox:
+                    m = b[0]
+                    M = b[2]
+                    cm = b[1]
+                    cM = b[3]
+                    if ox == m:
+                        cm -= 1
+                    if ox == M:
+                        cM -= 1
+                    # A stale m/M is still a valid lower/upper bound
+                    # of the remaining members, so these comparisons
+                    # hold even when a count just dropped to zero.
+                    if wx < m:
+                        b[0] = wx
+                        cm = 1
+                    elif wx == m:
+                        cm += 1
+                    if wx > M:
+                        b[2] = wx
+                        cM = 1
+                    elif wx == M:
+                        cM += 1
+                    if cm <= 0 or cM <= 0:
+                        xs = [bx[mm] for mm in self.members[i]]
+                        mn = min(xs)
+                        b[0] = mn
+                        cm = xs.count(mn)
+                        mx = max(xs)
+                        b[2] = mx
+                        cM = xs.count(mx)
+                    b[1] = cm
+                    b[3] = cM
+                    changed = True
+                if wy != oy:
+                    m = b[4]
+                    M = b[6]
+                    cm = b[5]
+                    cM = b[7]
+                    if oy == m:
+                        cm -= 1
+                    if oy == M:
+                        cM -= 1
+                    if wy < m:
+                        b[4] = wy
+                        cm = 1
+                    elif wy == m:
+                        cm += 1
+                    if wy > M:
+                        b[6] = wy
+                        cM = 1
+                    elif wy == M:
+                        cM += 1
+                    if cm <= 0 or cM <= 0:
+                        ys = [by[mm] for mm in self.members[i]]
+                        mn = min(ys)
+                        b[4] = mn
+                        cm = ys.count(mn)
+                        mx = max(ys)
+                        b[6] = mx
+                        cM = ys.count(mx)
+                    b[5] = cm
+                    b[7] = cM
+                    changed = True
+                if changed:
+                    b[8] = q[i] * ((b[2] - b[0] + 1)
+                                   + (b[6] - b[4] + 1))
+        delta = 0.0
+        for i, saved in snap:
+            delta += bounds[i][8] - saved[8]
+        return delta
+
+    def revert(self, affected: list[int], moves) -> None:
+        for blk, old_site, _new in moves:
+            bid = self.bid[blk]
+            self.bx[bid] = old_site.x
+            self.by[bid] = old_site.y
+        bounds = self.bounds
+        for i, saved in self._snap:
+            bounds[i][:] = saved
+
+    def total(self) -> float:
+        c = 0.0
+        bounds = self.bounds
+        for i in self._order:
+            c += bounds[i][8]
+        return c
+
+
 def place(cn: ClusteredNetlist, arch: ArchParams, *,
           grid_size: int | None = None, seed: int = 1,
-          effort: float = 1.0) -> Placement:
+          effort: float = 1.0, impl: str | None = None) -> Placement:
     """Place a clustered netlist; returns the final :class:`Placement`.
 
     ``effort`` scales the moves-per-temperature count (1.0 = the VPR
-    default ``10 * n_blocks^1.33``).
+    default ``10 * n_blocks^1.33``).  ``impl`` picks the cost model
+    (:data:`repro.impls.SCALAR` oracle or the default
+    :data:`repro.impls.INCREMENTAL`); both produce identical
+    placements for the same seed.
     """
+    impl = impls.place_impl(impl)
     rng = random.Random(seed)
     nets = cn.nets()
 
@@ -117,9 +335,11 @@ def place(cn: ClusteredNetlist, arch: ArchParams, *,
         for b in {net["driver"], *net["sinks"]}:
             nets_of.setdefault(b, []).append(name)
 
-    net_cost = {name: _net_bbox_cost(loc, net)
-                for name, net in nets.items()}
-    cost = sum(net_cost.values())
+    if impl == impls.INCREMENTAL:
+        model = _IncrementalCost(loc, nets)
+    else:
+        model = _ScalarCost(loc, nets, nets_of)
+    cost = model.total()
 
     blocks = clb_blocks + io_blocks
     movable = [b for b in blocks if nets_of.get(b)]
@@ -138,7 +358,7 @@ def place(cn: ClusteredNetlist, arch: ArchParams, *,
         deltas = []
         for _ in range(min(50, 5 * len(movable))):
             d = _try_move(rng, loc, occupant, free_sites, movable,
-                          grid_size, nets, nets_of, net_cost,
+                          grid_size, model,
                           t=float("inf"), rlim=grid_size,
                           commit_always=True)
             if d is not None:
@@ -156,8 +376,7 @@ def place(cn: ClusteredNetlist, arch: ArchParams, *,
             accepted = 0
             for _ in range(moves_per_t):
                 d = _try_move(rng, loc, occupant, free_sites, movable,
-                              grid_size, nets, nets_of, net_cost, t=t,
-                              rlim=rlim)
+                              grid_size, model, t=t, rlim=rlim)
                 if d is not None:
                     accepted += 1
                     cost += d
@@ -176,7 +395,7 @@ def place(cn: ClusteredNetlist, arch: ArchParams, *,
             rlim = min(max(1.0, rlim * (1.0 - 0.44 + rate)),
                        float(grid_size))
             # Periodic full recompute to cancel floating-point drift.
-            cost = sum(net_cost.values())
+            cost = model.total()
 
         cost = wirelength_cost(loc, nets)
         sp.set_attr(temps=n_temps, moves=n_moves, accepted=n_accepted,
@@ -184,11 +403,13 @@ def place(cn: ClusteredNetlist, arch: ArchParams, *,
     ms = obs.metrics.metric_set()
     ms.counter("place.moves", n_moves)
     ms.gauge("place.bbox_cost", round(cost, 3))
+    if impl == impls.INCREMENTAL:
+        ms.counter("place.incremental_evals", model.evals)
     return Placement(arch, grid_size, loc, cost, nets)
 
 
-def _try_move(rng, loc, occupant, free_sites, movable, grid_size, nets,
-              nets_of, net_cost, *, t, rlim,
+def _try_move(rng, loc, occupant, free_sites, movable, grid_size,
+              model, *, t, rlim,
               commit_always: bool = False) -> float | None:
     """Propose one move/swap; returns the committed delta or None."""
     block = rng.choice(movable)
@@ -212,15 +433,7 @@ def _try_move(rng, loc, occupant, free_sites, movable, grid_size, nets,
         target = rng.choice(pool)
 
     other = occupant.get(target.key())
-    affected_set = set(nets_of.get(block, ()))
-    if other is not None:
-        affected_set |= set(nets_of.get(other, ()))
-    # Sorted order so the float delta sums identically regardless of
-    # PYTHONHASHSEED; set order would make accept decisions (and thus
-    # the whole placement) vary between interpreter processes.
-    affected = sorted(affected_set)
-
-    old = {n: net_cost[n] for n in affected}
+    affected = model.affected(block, other)
 
     # Apply tentatively.
     loc[block] = target
@@ -234,11 +447,10 @@ def _try_move(rng, loc, occupant, free_sites, movable, grid_size, nets,
             free_sites[kind].remove(target)
         free_sites[kind].append(site)
 
-    delta = 0.0
-    for n in affected:
-        new = _net_bbox_cost(loc, nets[n])
-        delta += new - old[n]
-        net_cost[n] = new
+    moves = [(block, site, target)]
+    if other is not None:
+        moves.append((other, target, site))
+    delta = model.trial(affected, moves)
 
     accept = (commit_always or delta <= 0
               or rng.random() < math.exp(-delta / t))
@@ -256,6 +468,5 @@ def _try_move(rng, loc, occupant, free_sites, movable, grid_size, nets,
         if site in free_sites[kind]:
             free_sites[kind].remove(site)
         free_sites[kind].append(target)
-    for n, c in old.items():
-        net_cost[n] = c
+    model.revert(affected, moves)
     return None

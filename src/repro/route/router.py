@@ -20,7 +20,9 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-from .. import obs
+import numpy as np
+
+from .. import impls, obs
 from ..arch.params import ArchParams
 from ..arch.rrgraph import RRGraph, build_rr_graph
 from ..place.placer import Placement
@@ -82,20 +84,35 @@ def _capacity(g: RRGraph, idx: int) -> int:
 
 def route(placement: Placement, g: RRGraph, *,
           max_iterations: int = 40, pres_fac_mult: float = 1.6,
-          acc_fac: float = 0.5) -> RoutingResult:
-    """Route every net of a placement over the RR graph."""
+          acc_fac: float = 0.5,
+          impl: str | None = None) -> RoutingResult:
+    """Route every net of a placement over the RR graph.
+
+    ``impl`` picks the cost bookkeeping (:data:`repro.impls.SCALAR`
+    oracle or the default :data:`repro.impls.INCREMENTAL`); both
+    produce identical routing trees.
+    """
+    impl = impls.route_impl(impl)
     with obs.span("route.pathfinder", nets=len(placement.nets),
                   channel_width=g.arch.channel_width) as sp:
-        result = _route_all(placement, g,
-                            max_iterations=max_iterations,
-                            pres_fac_mult=pres_fac_mult,
-                            acc_fac=acc_fac)
+        if impl == impls.INCREMENTAL:
+            result, searches = _route_all_incremental(
+                placement, g, max_iterations=max_iterations,
+                pres_fac_mult=pres_fac_mult, acc_fac=acc_fac)
+        else:
+            result = _route_all(placement, g,
+                                max_iterations=max_iterations,
+                                pres_fac_mult=pres_fac_mult,
+                                acc_fac=acc_fac)
+            searches = 0
         sp.set_attr(success=result.success,
                     iterations=result.iterations,
                     overused=result.overused)
     ms = obs.metrics.metric_set()
     ms.counter("route.iterations", result.iterations)
     ms.gauge("route.overused", result.overused)
+    if impl == impls.INCREMENTAL:
+        ms.counter("route.heap_reuse", searches)
     return result
 
 
@@ -199,9 +216,129 @@ def _route_net(g: RRGraph, src: int, sinks: list[int], occ, hist, cap,
     return tree
 
 
+def _route_all_incremental(placement: Placement, g: RRGraph, *,
+                           max_iterations: int, pres_fac_mult: float,
+                           acc_fac: float
+                           ) -> tuple[RoutingResult, int]:
+    """PathFinder with persistent cost/search structures.
+
+    Produces routing trees identical to :func:`_route_all` (the scalar
+    oracle): every float reaching the Dijkstra heap is the same
+    python float, so relaxations and pops happen in the same order.
+    The wins are structural -- the ``base * hist`` product is
+    materialised once per iteration instead of per edge relaxation
+    (``hist`` only changes between iterations), the SINK test is a
+    precomputed bool list instead of a node-attribute lookup, and each
+    sink search reuses preallocated dist/prev arrays (reset via a
+    touched list) instead of rebuilding dicts.  Returns the result
+    plus the number of Dijkstra searches served by the reused
+    structures (``route.heap_reuse``).
+    """
+    nets = placement.nets
+    terminals: dict[str, tuple[int, list[int]]] = {}
+    for name, net in nets.items():
+        src_site = placement.loc[net["driver"]]
+        src = g.source_of(src_site)
+        sinks = [g.sink_of(placement.loc[b]) for b in net["sinks"]]
+        terminals[name] = (src, sinks)
+
+    n = g.n_nodes()
+    occ = [0] * n
+    cap = [_capacity(g, i) for i in range(n)]
+    cap_np = np.array(cap, dtype=np.int64)
+    base_np = np.array([_BASE_COST[node.kind] for node in g.nodes])
+    hist_np = np.ones(n)
+    # tolist() yields python floats bit-identical to the scalar
+    # per-edge ``_BASE_COST[kind] * hist[v]`` products.
+    bh = (base_np * hist_np).tolist()
+    is_sink = [node.kind == "SINK" for node in g.nodes]
+    edges = [node.edges for node in g.nodes]
+    inf = float("inf")
+    dist = [inf] * n
+    prev = [0] * n
+    touched: list[int] = []
+    searches = 0
+
+    trees: dict[str, RouteTree] = {}
+    pres_fac = 0.5
+    order = sorted(nets, key=lambda nm: (-len(nets[nm]["sinks"]), nm))
+
+    for it in range(1, max_iterations + 1):
+        for name in order:
+            src, sinks = terminals[name]
+            old = trees.pop(name, None)
+            if old is not None:
+                for node in old.parents:
+                    occ[node] -= 1
+
+            tree = RouteTree("", src, {src: -1})
+            seen: set[int] = set()
+            remaining = [s for s in sinks
+                         if not (s in seen or seen.add(s))]
+            for target in remaining:
+                searches += 1
+                for v in touched:
+                    dist[v] = inf
+                touched.clear()
+                heap: list[tuple[float, int]] = []
+                for t_node in tree.parents:
+                    dist[t_node] = 0.0
+                    touched.append(t_node)
+                    heapq.heappush(heap, (0.0, t_node))
+                found = False
+                while heap:
+                    d, u = heapq.heappop(heap)
+                    if d > dist[u]:
+                        continue
+                    if u == target:
+                        found = True
+                        break
+                    for v in edges[u]:
+                        if is_sink[v] and v != target:
+                            continue
+                        over = occ[v] + 1 - cap[v]
+                        p = 1.0 + (pres_fac * over if over > 0
+                                   else 0.0)
+                        ndist = d + bh[v] * p
+                        if ndist < dist[v]:
+                            dist[v] = ndist
+                            prev[v] = u
+                            touched.append(v)
+                            heapq.heappush(heap, (ndist, v))
+                if not found:
+                    raise RuntimeError(
+                        "routing graph disconnected: sink unreachable "
+                        "(channel width too small for even one net?)")
+                node = target
+                while node not in tree.parents:
+                    tree.parents[node] = prev[node]
+                    node = prev[node]
+
+            for node in tree.parents:
+                occ[node] += 1
+            trees[name] = tree
+
+        occ_np = np.array(occ, dtype=np.int64)
+        over_mask = occ_np > cap_np
+        overused = int(np.count_nonzero(over_mask))
+        if overused == 0:
+            return RoutingResult(True, it, trees,
+                                 g.arch.channel_width), searches
+        # Per-element identical to the scalar
+        # ``hist[i] += acc_fac * (occ[i] - cap[i])`` update.
+        hist_np[over_mask] += acc_fac * (occ_np[over_mask]
+                                         - cap_np[over_mask])
+        bh = (base_np * hist_np).tolist()
+        pres_fac *= pres_fac_mult
+
+    return RoutingResult(False, max_iterations, trees,
+                         g.arch.channel_width, overused), searches
+
+
 def route_min_channel_width(placement: Placement, arch: ArchParams,
                             *, w_min: int = 2, w_max: int = 64,
-                            max_iterations: int = 30
+                            max_iterations: int = 30,
+                            impl: str | None = None
                             ) -> tuple[int, RoutingResult, RRGraph]:
     """Binary search for the minimum routable channel width.
 
@@ -218,7 +355,8 @@ def route_min_channel_width(placement: Placement, arch: ArchParams,
         a = replace(arch, channel_width=w)
         g = build_rr_graph(a, placement.grid_size)
         try:
-            r = route(placement, g, max_iterations=max_iterations)
+            r = route(placement, g, max_iterations=max_iterations,
+                      impl=impl)
         except RuntimeError:
             return None, None
         return (r, g) if r.success else (None, g)

@@ -362,7 +362,10 @@ class TestCli:
         assert rc == 2
         assert "not a span record" in capsys.readouterr().err
 
-    def test_exp_trace_records_batch(self, tmp_path, capsys):
+    def test_exp_trace_records_batch(self, tmp_path, capsys,
+                                     monkeypatch):
+        # The scalar oracle fans table2 out as one job per config.
+        monkeypatch.setenv("REPRO_SCALAR_ORACLE", "1")
         trace = tmp_path / "exp.jsonl"
         assert cli_main(["exp", "table2", "--dt", "8e-12",
                         "--cache-dir", str(tmp_path / "cache"),
@@ -374,3 +377,18 @@ class TestCli:
         jobs = by_name(recs, "exp.job")
         assert len(jobs) == 3
         assert all(j["parent_id"] == batch["span_id"] for j in jobs)
+
+    def test_exp_trace_batched_impl_single_job(self, tmp_path, capsys,
+                                               monkeypatch):
+        # The (default) batched engine folds table2 into one job.
+        monkeypatch.delenv("REPRO_SCALAR_ORACLE", raising=False)
+        monkeypatch.delenv("REPRO_SIM_IMPL", raising=False)
+        trace = tmp_path / "exp.jsonl"
+        assert cli_main(["exp", "table2", "--dt", "8e-12",
+                        "--cache-dir", str(tmp_path / "cache"),
+                        "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        recs = obs.load_jsonl(trace)
+        batch = by_name(recs, "exp.batch")[0]
+        assert batch["attrs"]["n_jobs"] == 1
+        assert len(by_name(recs, "exp.job")) == 1

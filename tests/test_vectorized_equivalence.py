@@ -1,0 +1,287 @@
+"""Differential tests: vectorized implementations vs scalar oracles.
+
+The batched transient engine, the incremental-cost placer and the
+incremental router each ship alongside the original scalar
+implementation (kept selectable via :mod:`repro.impls`).  This suite
+pins the equivalence contract:
+
+* transients -- batched waveforms match the scalar simulator within
+  the Newton solver tolerance on arbitrary RC / pass-transistor
+  circuits (hypothesis-generated), and bit-for-bit when the batch
+  engine uses its dense solver;
+* placement and routing -- the incremental implementations reproduce
+  the scalar results *exactly* (same placements, same routing trees)
+  for the same seeds;
+* selection -- the environment escape hatches resolve as documented;
+* failure surfacing -- a :class:`NewtonConvergenceError` crossing the
+  experiment engine arrives as a structured ``JobError`` that still
+  names the offending nodes and timestep.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import impls
+from repro.arch import DEFAULT_ARCH, build_rr_graph
+from repro.bench import counter, random_logic
+from repro.circuit import (Circuit, NewtonConvergenceError, STM018,
+                           simulate, simulate_batch)
+from repro.circuit.cells import inverter, pass_nmos
+from repro.circuit.waveforms import pulse_train
+from repro.exp import JobSpec, NullCache, ParallelRunner
+from repro.exp.tasks import task
+from repro.pack import pack_netlist
+from repro.place import place
+from repro.route import route, route_min_channel_width
+from repro.synth import optimize_and_map
+
+VDD = STM018.vdd
+
+#: The Newton convergence tolerance of both engines (V); the batched
+#: banded solve may deviate from the scalar dense solve by machine
+#: epsilon only, so matching within solver tolerance is a loose bound.
+SOLVER_TOL = 1e-4
+
+
+# ---------------------------------------------------------------------------
+# Random circuit strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def rc_params(draw):
+    """Parameters of one random RC ladder."""
+    n_stages = draw(st.integers(1, 4))
+    r_kohm = draw(st.lists(st.integers(1, 40), min_size=n_stages,
+                           max_size=n_stages))
+    c_ff = draw(st.lists(st.integers(2, 150), min_size=n_stages,
+                         max_size=n_stages))
+    t_rise_ps = draw(st.integers(50, 400))
+    return r_kohm, c_ff, t_rise_ps
+
+
+@st.composite
+def pass_chain_params(draw):
+    """Parameters of one inverter-driven pass-transistor chain."""
+    n_pass = draw(st.integers(1, 3))
+    widths = draw(st.lists(st.integers(1, 8), min_size=n_pass,
+                           max_size=n_pass))
+    c_ff = draw(st.integers(5, 60))
+    return widths, c_ff
+
+
+def _rc_circuit(params):
+    r_kohm, c_ff, t_rise_ps = params
+    ckt = Circuit(tech=STM018, title="rc")
+    node = ckt.node("in")
+    ckt.voltage_source(node, pulse_train(
+        [(t_rise_ps * 1e-12, VDD), (2e-9, 0.0)], v_init=0.0))
+    for i, (r, c) in enumerate(zip(r_kohm, c_ff)):
+        nxt = ckt.node(f"n{i}")
+        ckt.resistor(node, nxt, r * 1e3)
+        ckt.capacitor(nxt, c * 1e-15)
+        node = nxt
+    return ckt, 4e-9
+
+
+def _pass_circuit(params):
+    widths, c_ff = params
+    ckt = Circuit(tech=STM018, title="pass")
+    a = ckt.node("a")
+    ckt.voltage_source(a, pulse_train([(0.2e-9, VDD), (2e-9, 0.0)],
+                                      v_init=0.0))
+    node = ckt.node("drv")
+    inverter(ckt, a, node, name="drv")
+    for i, w in enumerate(widths):
+        nxt = ckt.node(f"p{i}")
+        pass_nmos(ckt, node, nxt, en=ckt.vdd, w=float(w),
+                  name=f"sw{i}")
+        ckt.capacitor(nxt, c_ff * 1e-15)
+        node = nxt
+    return ckt, 4e-9
+
+
+def _assert_within_tol(ckts, t_ends, dt=2e-12):
+    scalar = [simulate(c, t, dt=dt) for c, t in zip(ckts, t_ends)]
+    batched = simulate_batch(ckts, t_ends, dt=dt)
+    for rs, rb in zip(scalar, batched):
+        assert np.array_equal(rs.time, rb.time)
+        assert rs.node_names == rb.node_names
+        dv = np.abs(rs.voltages - rb.voltages).max()
+        assert dv <= SOLVER_TOL, f"waveform deviation {dv:.3e} V"
+        di = np.abs(rs.supply_current - rb.supply_current).max()
+        assert di <= SOLVER_TOL, f"supply deviation {di:.3e} A"
+
+
+class TestTransientEquivalence:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(rc_params(), min_size=1, max_size=3))
+    def test_random_rc_within_solver_tolerance(self, param_sets):
+        ckts, t_ends = zip(*[_rc_circuit(p) for p in param_sets])
+        _assert_within_tol(list(ckts), list(t_ends))
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(pass_chain_params(), min_size=1, max_size=3))
+    def test_random_pass_chains_within_solver_tolerance(self,
+                                                       param_sets):
+        ckts, t_ends = zip(*[_pass_circuit(p) for p in param_sets])
+        _assert_within_tol(list(ckts), list(t_ends))
+
+    def test_dense_solver_is_bit_identical(self):
+        """solver="dense" reproduces the scalar engine bit-for-bit."""
+        ckts, t_ends = zip(*[
+            _rc_circuit(([5, 20], [30, 80], 150)),
+            _pass_circuit(([2, 6], 25)),
+        ])
+        scalar = [simulate(c, t, dt=2e-12)
+                  for c, t in zip(ckts, t_ends)]
+        batched = simulate_batch(list(ckts), list(t_ends), dt=2e-12,
+                                 solver="dense")
+        for rs, rb in zip(scalar, batched):
+            assert np.array_equal(rs.time, rb.time)
+            assert np.array_equal(rs.voltages, rb.voltages)
+            assert np.array_equal(rs.supply_current, rb.supply_current)
+
+    def test_heterogeneous_batch_time_axes(self):
+        """Mixed step counts repack correctly mid-batch."""
+        ckts = []
+        t_ends = []
+        for n, t_end in ((1, 1.5e-9), (3, 4e-9), (2, 2.5e-9)):
+            c, _ = _rc_circuit(([10] * n, [50] * n, 100))
+            ckts.append(c)
+            t_ends.append(t_end)
+        _assert_within_tol(ckts, t_ends)
+
+
+# ---------------------------------------------------------------------------
+# Place and route: exact reproduction
+# ---------------------------------------------------------------------------
+
+def _packed(net):
+    return pack_netlist(optimize_and_map(net, 4).network)
+
+
+@pytest.fixture(scope="module")
+def pr_netlists():
+    return {
+        "counter8": _packed(counter(8)),
+        "rand": _packed(random_logic("veq", n_pi=6, n_po=4,
+                                     n_nodes=45, seed=11)),
+    }
+
+
+class TestPlacerEquivalence:
+    @pytest.mark.parametrize("name,seed", [("counter8", 5),
+                                           ("counter8", 9),
+                                           ("rand", 3)])
+    def test_incremental_placement_exact(self, pr_netlists, name, seed):
+        cn = pr_netlists[name]
+        a = place(cn, DEFAULT_ARCH, seed=seed, effort=0.5,
+                  impl=impls.SCALAR)
+        b = place(cn, DEFAULT_ARCH, seed=seed, effort=0.5,
+                  impl=impls.INCREMENTAL)
+        assert a.loc == b.loc
+        assert a.cost == b.cost
+        assert a.grid_size == b.grid_size
+
+
+class TestRouterEquivalence:
+    @pytest.mark.parametrize("name,seed", [("counter8", 5),
+                                           ("rand", 2)])
+    def test_incremental_routing_exact(self, pr_netlists, name, seed):
+        cn = pr_netlists[name]
+        pl = place(cn, DEFAULT_ARCH, seed=seed, effort=0.5)
+        g = build_rr_graph(DEFAULT_ARCH, pl.grid_size)
+        a = route(pl, g, impl=impls.SCALAR)
+        b = route(pl, g, impl=impls.INCREMENTAL)
+        assert a.success == b.success
+        assert a.iterations == b.iterations
+        assert a.overused == b.overused
+        assert {k: t.parents for k, t in a.trees.items()} \
+            == {k: t.parents for k, t in b.trees.items()}
+
+    def test_min_width_search_exact(self, pr_netlists):
+        pl = place(pr_netlists["counter8"], DEFAULT_ARCH, seed=5,
+                   effort=0.5)
+        wa, ra, _ = route_min_channel_width(pl, DEFAULT_ARCH,
+                                            impl=impls.SCALAR)
+        wb, rb, _ = route_min_channel_width(pl, DEFAULT_ARCH,
+                                            impl=impls.INCREMENTAL)
+        assert wa == wb
+        assert {k: t.parents for k, t in ra.trees.items()} \
+            == {k: t.parents for k, t in rb.trees.items()}
+
+
+# ---------------------------------------------------------------------------
+# Implementation selection
+# ---------------------------------------------------------------------------
+
+class TestImplSelection:
+    def test_defaults_are_vectorized(self, monkeypatch):
+        for var in (impls.ENV_SCALAR_ORACLE, impls.ENV_SIM_IMPL,
+                    impls.ENV_PLACE_IMPL, impls.ENV_ROUTE_IMPL):
+            monkeypatch.delenv(var, raising=False)
+        assert impls.sim_impl() == impls.BATCHED
+        assert impls.place_impl() == impls.INCREMENTAL
+        assert impls.route_impl() == impls.INCREMENTAL
+
+    def test_scalar_oracle_forces_everything(self, monkeypatch):
+        monkeypatch.setenv(impls.ENV_SCALAR_ORACLE, "1")
+        assert impls.sim_impl() == impls.SCALAR
+        assert impls.place_impl() == impls.SCALAR
+        assert impls.route_impl() == impls.SCALAR
+        # ... but an explicit choice still wins.
+        assert impls.sim_impl(impls.BATCHED) == impls.BATCHED
+
+    def test_per_domain_env_override(self, monkeypatch):
+        monkeypatch.delenv(impls.ENV_SCALAR_ORACLE, raising=False)
+        monkeypatch.setenv(impls.ENV_PLACE_IMPL, "scalar")
+        assert impls.place_impl() == impls.SCALAR
+        assert impls.route_impl() == impls.INCREMENTAL
+
+    def test_versions_distinct_per_impl(self):
+        assert (impls.impl_version("sim", impls.SCALAR)
+                != impls.impl_version("sim", impls.BATCHED))
+        assert (impls.impl_version("place", impls.SCALAR)
+                != impls.impl_version("place", impls.INCREMENTAL))
+        assert (impls.impl_version("route", impls.SCALAR)
+                != impls.impl_version("route", impls.INCREMENTAL))
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ValueError):
+            impls.sim_impl("quantum")
+        with pytest.raises(ValueError):
+            impls.impl_version("sim", "quantum")
+
+
+# ---------------------------------------------------------------------------
+# Convergence-failure surfacing through the engine
+# ---------------------------------------------------------------------------
+
+@task("_test_newton_fail")
+def _newton_fail(**_ignored):
+    raise NewtonConvergenceError.at_step(
+        time=3.2e-10, dt=1e-12, nodes=["ff.q", "ff.qb"],
+        detail="injected")
+
+
+class TestConvergenceErrorSurfacing:
+    def test_error_names_nodes_and_timestep(self):
+        err = NewtonConvergenceError.at_step(
+            time=3.2e-10, dt=1e-12, nodes=["ff.q", "ff.qb"])
+        assert err.nodes == ["ff.q", "ff.qb"]
+        assert err.time == 3.2e-10
+        assert err.dt == 1e-12
+        assert "ff.q" in str(err) and "3.2000e-10" in str(err)
+
+    def test_surfaces_as_structured_job_error(self):
+        runner = ParallelRunner(jobs=1, cache=NullCache())
+        (res,) = runner.run([JobSpec.make("_test_newton_fail")])
+        assert not res.ok
+        assert res.error.kind == "error"
+        assert res.error.exc_type == "NewtonConvergenceError"
+        assert "ff.q" in res.error.message
+        assert "t=3.2000e-10" in res.error.message
+        assert "dt=1.000e-12" in res.error.message
