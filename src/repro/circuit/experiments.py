@@ -167,7 +167,8 @@ def run_table1(*, tech: Technology = STM018, dt: float = 1e-12,
     impl = impls.sim_impl(impl)
     tag = impls.impl_version("sim", impl)
     if impl == impls.BATCHED:
-        spec = JobSpec.make("detff_batch", names=list(DETFF_VARIANTS),
+        spec = JobSpec.make("detff_batch", chunkable=False,
+                            names=list(DETFF_VARIANTS),
                             tech=tech, dt=dt, sim_version=tag)
         (rows,) = _values([spec], runner, "table1")
         return rows
@@ -190,8 +191,8 @@ def _clock_cell_energies(configs: list[dict], dt: float,
     impl = impls.sim_impl(impl)
     tag = impls.impl_version("sim", impl)
     if impl == impls.BATCHED:
-        spec = JobSpec.make("clock_cells_batch", configs=configs,
-                            dt=dt, sim_version=tag)
+        spec = JobSpec.make("clock_cells_batch", chunkable=False,
+                            configs=configs, dt=dt, sim_version=tag)
         (energies,) = _values([spec], runner, driver)
         return energies
     specs = [JobSpec.make("clock_cell", dt=dt, sim_version=tag, **cfg)
@@ -295,9 +296,9 @@ def run_fig_sweep(fig: str, *, widths: list[float] | None = None,
     if impl == impls.BATCHED:
         points = [[w, length]
                   for length in wire_lengths for w in widths]
-        spec = JobSpec.make("fig_sweep_batch", points=points,
-                            switch_type=switch_type, tech=tech, dt=dt,
-                            sim_version=tag, **cfg)
+        spec = JobSpec.make("fig_sweep_batch", chunkable=False,
+                            points=points, switch_type=switch_type,
+                            tech=tech, dt=dt, sim_version=tag, **cfg)
         (rows,) = _values([spec], runner, fig)
         values = iter(rows)
     else:

@@ -18,20 +18,30 @@ Typical use::
              for w in (1.0, 2.0, 4.0)]
     points = runner.run_values(specs)
 
+Two schedulers implement the same contract (``pool=`` / ``REPRO_POOL``):
+the default ``"persistent"`` mode keeps warm workers alive across
+batches (:mod:`repro.exp.pool` -- chunked dispatch, shared-memory
+result transport), while ``"per-job"`` forks a fresh process per
+attempt for maximal isolation.
+
 Every experiment driver in :mod:`repro.circuit.experiments` accepts a
 ``runner=`` argument; with none given they consult ``REPRO_JOBS`` /
-``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` / ``REPRO_JOB_TIMEOUT`` via
-:func:`default_runner`.
+``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` / ``REPRO_JOB_TIMEOUT`` /
+``REPRO_POOL`` / ``REPRO_CHUNK`` via :func:`default_runner`.
 """
 
 from .cache import NullCache, ResultCache, default_cache_dir
 from .jobspec import JobSpec, canonical, canonical_json, repro_code_version
-from .runner import (JobError, JobFailedError, JobResult, ParallelRunner,
+from .pool import PersistentPool, get_pool, shutdown_pools
+from .runner import (POOL_PER_JOB, POOL_PERSISTENT, JobError,
+                     JobFailedError, JobResult, ParallelRunner,
                      default_runner)
 
 __all__ = [
     "JobSpec", "JobResult", "JobError", "JobFailedError",
     "ParallelRunner", "default_runner",
+    "POOL_PERSISTENT", "POOL_PER_JOB",
+    "PersistentPool", "get_pool", "shutdown_pools",
     "ResultCache", "NullCache", "default_cache_dir",
     "canonical", "canonical_json", "repro_code_version",
 ]

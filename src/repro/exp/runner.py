@@ -9,15 +9,30 @@ the attempt count and, for failed jobs, a structured :class:`JobError`
 error, a timeout or a worker crash) -- one bad sweep point never takes
 down the batch.
 
-Fault tolerance
+Execution modes
 ---------------
-Every job runs in its **own** worker process (forked fresh, daemonic),
-so a worker that is killed, OOMs or calls ``os._exit`` yields a failed
-``JobResult`` with ``error.kind == "crash"`` instead of hanging or
-poisoning a shared pool.  A per-job ``timeout_s`` (on the spec, on the
-runner, or via ``REPRO_JOB_TIMEOUT``) terminates overdue workers and
-reports ``error.kind == "timeout"``.  ``JobSpec.retries`` re-runs a
-failed job with exponential backoff before giving up.
+Two schedulers implement the same contract and produce bit-identical
+results (``pool=`` argument / ``REPRO_POOL``):
+
+``"persistent"`` (default)
+    Long-lived warm workers shared across batches through a
+    module-level pool handle (:mod:`repro.exp.pool`), small jobs
+    chunked per dispatch to amortize IPC, and large result arrays
+    moved through ``multiprocessing.shared_memory`` instead of the
+    pipe.  A worker that crashes or overruns a deadline is killed and
+    replaced by the supervisor; the rest of its chunk is re-queued
+    without consuming retry attempts.
+
+``"per-job"``
+    The isolation-maximal oracle: every job attempt runs in its own
+    fresh daemonic process, so a worker that is killed, OOMs or calls
+    ``os._exit`` can never carry state into another job.
+
+In both modes a per-job ``timeout_s`` (on the spec, on the runner, or
+via ``REPRO_JOB_TIMEOUT``) terminates overdue workers and reports
+``error.kind == "timeout"``; a dead worker yields ``error.kind ==
+"crash"``; ``JobSpec.retries`` re-runs a failed job with exponential
+backoff before giving up.
 
 Checkpointing
 -------------
@@ -52,6 +67,18 @@ __all__ = ["JobError", "JobFailedError", "JobResult", "ParallelRunner",
 ENV_JOBS = "REPRO_JOBS"
 ENV_NO_CACHE = "REPRO_NO_CACHE"
 ENV_JOB_TIMEOUT = "REPRO_JOB_TIMEOUT"
+ENV_POOL = "REPRO_POOL"
+ENV_CHUNK = "REPRO_CHUNK"
+
+POOL_PERSISTENT = "persistent"
+POOL_PER_JOB = "per-job"
+_POOL_MODES = (POOL_PERSISTENT, POOL_PER_JOB)
+
+#: Chunking bounds for the persistent pool: never group more than this
+#: many jobs per dispatch, and aim for this many chunks per worker so
+#: stragglers still load-balance.
+CHUNK_MAX = 32
+CHUNK_OVERSUBSCRIBE = 4
 
 _TRUTHY = ("1", "true", "yes", "on")
 
@@ -157,9 +184,20 @@ class _WorkerSettings:
                         if k in os.environ})
 
     def apply(self) -> None:
+        """Make the worker's state match the snapshot exactly.
+
+        Forwarded keys are overwritten (and removed when absent from
+        the snapshot) rather than defaulted: a persistent pool worker
+        outlives many batches, so leftovers from an earlier batch must
+        not shadow the parent's current environment.
+        """
         obs.set_enabled(self.trace_enabled)
-        for k, v in (self.env or {}).items():
-            os.environ.setdefault(k, v)
+        env = self.env or {}
+        for k in self.FORWARDED:
+            if k in env:
+                os.environ[k] = env[k]
+            else:
+                os.environ.pop(k, None)
 
 
 def _worker_main(conn, spec: JobSpec,
@@ -225,10 +263,19 @@ class ParallelRunner:
                       state is forwarded explicitly (see
                       :class:`_WorkerSettings`), so spans and metrics
                       survive any start method.
+    ``pool``          scheduler: ``"persistent"`` (warm shared pool,
+                      the default) or ``"per-job"`` (fresh process per
+                      attempt).  ``None`` reads ``REPRO_POOL``; an
+                      unrecognized environment value falls back to
+                      ``"persistent"``, an unrecognized argument raises.
+    ``chunk``         jobs grouped per pool dispatch.  ``None`` reads
+                      ``REPRO_CHUNK``, else sizes chunks automatically
+                      from the batch (``1`` disables chunking; ignored
+                      by the per-job scheduler).
 
     Execution is inline (in-process) only when ``jobs == 1`` and no job
-    has a timeout; otherwise each job gets its own short-lived worker
-    process so crashes and timeouts stay isolated.
+    has a timeout; otherwise the selected scheduler keeps crashes and
+    timeouts isolated in worker processes.
     """
 
     def __init__(self, jobs: int = 1, *,
@@ -237,7 +284,9 @@ class ParallelRunner:
                  code_version: str | None = None,
                  timeout_s: float | None = None,
                  backoff_s: float = 0.25,
-                 start_method: str | None = None):
+                 start_method: str | None = None,
+                 pool: str | None = None,
+                 chunk: int | None = None):
         if jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
@@ -245,15 +294,38 @@ class ParallelRunner:
             cache = ResultCache() if use_cache else NullCache()
         self.cache = cache
         self.code_version = code_version
+        if timeout_s is None:
+            try:
+                timeout_s = float(os.environ[ENV_JOB_TIMEOUT])
+            except (KeyError, ValueError):
+                timeout_s = None
+            if timeout_s is not None and timeout_s <= 0:
+                timeout_s = None
         self.timeout_s = timeout_s
         self.backoff_s = backoff_s
         self.start_method = start_method
+        if pool is None:
+            env = os.environ.get(ENV_POOL, "").strip().lower()
+            pool = env if env in _POOL_MODES else POOL_PERSISTENT
+        elif pool not in _POOL_MODES:
+            raise ValueError(
+                f"pool must be one of {_POOL_MODES}, got {pool!r}")
+        self.pool = pool
+        if chunk is None:
+            try:
+                chunk = int(os.environ[ENV_CHUNK])
+            except (KeyError, ValueError):
+                chunk = None
+            if chunk is not None and chunk <= 0:
+                chunk = None
+        self.chunk = chunk
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> list[JobResult]:
         """Execute all jobs; results align one-to-one with ``specs``."""
         keys = [spec.key(self.code_version) for spec in specs]
         results: list[JobResult | None] = [None] * len(specs)
+        lru_hits_before = getattr(self.cache, "lru_hits", 0)
 
         with obs.span("exp.batch", n_jobs=len(specs),
                       workers=self.jobs) as bsp:
@@ -275,8 +347,10 @@ class ParallelRunner:
                 if inline:
                     for i in pending:
                         results[i] = self._run_inline(specs[i], keys[i])
-                else:
+                elif self.pool == POOL_PER_JOB:
                     self._run_pool(specs, keys, results, pending)
+                else:
+                    self._run_persistent(specs, keys, results, pending)
 
             bsp.set_attr(
                 cache_hits=len(specs) - len(pending),
@@ -285,6 +359,9 @@ class ParallelRunner:
         ms = obs.metrics.metric_set()
         ms.counter("exp.jobs", len(specs))
         ms.counter("exp.cache_hits", len(specs) - len(pending))
+        lru_delta = getattr(self.cache, "lru_hits", 0) - lru_hits_before
+        if lru_delta > 0:
+            ms.counter("exp.cache.lru_hits", lru_delta)
         for r in results:
             if r is None:
                 continue
@@ -319,7 +396,9 @@ class ParallelRunner:
                 sp.set_attr(outcome="ok" if err is None else err.kind)
             if err is None or attempt > spec.retries:
                 break
-            time.sleep(self._backoff(attempt))
+            backoff = self._backoff(attempt)
+            obs.metrics.metric_set().dist("exp.retry_wait_s", backoff)
+            time.sleep(backoff)
         if err is None:
             self.cache.put(key, value)
         return JobResult(spec=spec, key=key, value=value,
@@ -360,9 +439,11 @@ class ParallelRunner:
             if err is not None and attempt <= spec.retries:
                 obs.emit("exp.job", seconds=seconds, kind=spec.kind,
                          attempt=attempt, outcome=f"retry:{err.kind}")
+                backoff = self._backoff(attempt)
+                obs.metrics.metric_set().dist("exp.retry_wait_s",
+                                              backoff)
                 queue.append(_Pending(
-                    index, attempt + 1,
-                    time.monotonic() + self._backoff(attempt)))
+                    index, attempt + 1, time.monotonic() + backoff))
                 return
             results[index] = JobResult(
                 spec=spec, key=keys[index], value=value,
@@ -431,10 +512,10 @@ class ParallelRunner:
                         launch(item)
                 if not active:
                     # Only backoff-delayed retries remain: sleep until
-                    # the soonest becomes ready.
+                    # the soonest becomes ready (a capped slice here
+                    # would wake the scheduler repeatedly for nothing).
                     wake = min(p.ready_at for p in queue)
-                    time.sleep(max(0.0, min(wake - time.monotonic(),
-                                            0.25)))
+                    time.sleep(max(0.0, wake - time.monotonic()))
                     continue
                 waits = [a.deadline - now for a in active
                          if a.deadline is not None]
@@ -456,6 +537,211 @@ class ParallelRunner:
                 stop_proc(a.proc)
                 a.conn.close()
 
+    # -- persistent-pool path (warm workers, chunked dispatch) ----------
+    def _chunk_target(self, n_pending: int) -> int:
+        """Jobs per dispatch: explicit ``chunk``, else batch-derived so
+        each worker sees ~``CHUNK_OVERSUBSCRIBE`` chunks (stragglers can
+        still load-balance), capped at ``CHUNK_MAX``."""
+        if self.chunk is not None:
+            return max(1, self.chunk)
+        per_worker = max(1, self.jobs) * CHUNK_OVERSUBSCRIBE
+        return max(1, min(CHUNK_MAX, -(-n_pending // per_worker)))
+
+    def _run_persistent(self, specs: Sequence[JobSpec],
+                        keys: Sequence[str],
+                        results: list[JobResult | None],
+                        pending_idx: list[int]) -> None:
+        """Schedule the batch over the shared warm pool.
+
+        Same contract as :meth:`_run_pool` -- submission-order results,
+        per-job timeouts/retries, crash isolation, as-they-finish cache
+        writes, span/metric grafting -- but workers persist across
+        batches, jobs travel in chunks, and one streamed message per
+        job comes back (so a chunk never delays its siblings' results).
+        The head of a worker's chunk is the job actually executing;
+        when the worker dies or overruns that job's deadline, only the
+        head is charged with the failure -- the rest of the chunk never
+        started and is re-queued with its attempt count untouched.
+        """
+        from multiprocessing.connection import wait as conn_wait
+        from . import pool as pool_mod
+
+        ms = obs.metrics.metric_set()
+        spawned_before = pool_mod.spawn_count()
+        pl = pool_mod.get_pool(self.jobs, self.start_method)
+        settings = _WorkerSettings.snapshot()
+        queue: deque[_Pending] = deque(
+            _Pending(i, 1, 0.0) for i in pending_idx)
+        chunk_target = self._chunk_target(len(pending_idx))
+        ms.gauge("exp.pool.workers", len(pl.workers))
+
+        def finalize(item: _Pending, value: Any, seconds: float,
+                     err: JobError | None, spans: list | None = None,
+                     metric_rows: list | None = None) -> None:
+            spec = specs[item.index]
+            if err is not None and item.attempt <= spec.retries:
+                obs.emit("exp.job", seconds=seconds, kind=spec.kind,
+                         attempt=item.attempt,
+                         outcome=f"retry:{err.kind}")
+                backoff = self._backoff(item.attempt)
+                ms.dist("exp.retry_wait_s", backoff)
+                queue.append(_Pending(item.index, item.attempt + 1,
+                                      time.monotonic() + backoff))
+                return
+            results[item.index] = JobResult(
+                spec=spec, key=keys[item.index], value=value,
+                seconds=seconds, error=err, attempts=item.attempt)
+            job_id = obs.emit(
+                "exp.job", seconds=seconds, kind=spec.kind,
+                attempt=item.attempt,
+                outcome="ok" if err is None else err.kind)
+            if spans:
+                obs.adopt(spans, parent_id=job_id)
+            if err is None:
+                if metric_rows:
+                    ms.merge(metric_rows)
+                self.cache.put(keys[item.index], value)
+
+        def fail_head(w, kind: str) -> None:
+            """Charge the executing job; re-queue the rest of the chunk."""
+            head = w.inflight.popleft()
+            rest = list(w.inflight)
+            w.inflight.clear()
+            for item in reversed(rest):
+                queue.appendleft(item)
+            elapsed = time.monotonic() - w.job_started_at
+            if kind == "timeout":
+                t = self._timeout_for(specs[head.index])
+                err = JobError(exc_type="TimeoutError",
+                               message=f"job exceeded timeout of {t}s",
+                               kind="timeout")
+            else:
+                err = JobError(
+                    exc_type="WorkerCrashed",
+                    message=(f"pooled worker exited with code "
+                             f"{w.proc.exitcode} before returning "
+                             f"a result"),
+                    kind="crash")
+            finalize(head, None, elapsed, err)
+            pl.replace(w)
+
+        def on_broken(w) -> None:
+            if w.inflight:
+                fail_head(w, "crash")
+            else:
+                pl.replace(w)
+
+        def on_message(w, msg) -> None:
+            if msg[0] == "ack":
+                ms.dist("exp.pool.dispatch_s",
+                        max(0.0, msg[1] - w.sent_at))
+                w.job_started_at = msg[1]
+                return
+            _, value, seconds, err, spans, metric_rows, _shm = msg
+            item = w.inflight.popleft()
+            w.served += 1
+            w.job_started_at = time.monotonic()
+            if err is None:
+                try:
+                    value, nbytes = pool_mod.decode_value(value)
+                except Exception as exc:
+                    value, err = None, JobError(
+                        exc_type=type(exc).__name__,
+                        message=("shared-memory result decode "
+                                 f"failed: {exc}"),
+                        traceback=traceback.format_exc())
+                else:
+                    if nbytes:
+                        ms.counter("exp.pool.shm_bytes", nbytes)
+            finalize(item, value, seconds, err, spans, metric_rows)
+
+        def deadline(w) -> float | None:
+            if not w.inflight:
+                return None
+            t = self._timeout_for(specs[w.inflight[0].index])
+            return None if t is None else w.job_started_at + t
+
+        while queue or any(w.inflight for w in pl.workers):
+            now = time.monotonic()
+            if queue:
+                # Dispatch chunks to idle workers.  A non-chunkable
+                # spec (e.g. an already-batched tensor job) travels
+                # alone so its runtime never hides siblings.
+                ready = deque(p for p in queue if p.ready_at <= now)
+                for w in pl.workers:
+                    if not ready:
+                        break
+                    if w.inflight:
+                        continue
+                    take: list[_Pending] = []
+                    while ready and len(take) < chunk_target:
+                        if take and not specs[ready[0].index].chunkable:
+                            break
+                        take.append(ready.popleft())
+                        if not specs[take[-1].index].chunkable:
+                            break
+                    for item in take:
+                        queue.remove(item)
+                    try:
+                        pl.dispatch(w, settings,
+                                    [specs[p.index] for p in take])
+                    except Exception:
+                        for item in reversed(take):
+                            queue.appendleft(item)
+                        pl.replace(w)
+                        continue
+                    w.inflight.extend(take)
+                    w.sent_at = now
+                    w.job_started_at = now
+                    ms.dist("exp.pool.chunk_size", len(take))
+            busy = [w for w in pl.workers if w.inflight]
+            if not busy:
+                if not queue:
+                    break
+                # Only backoff-delayed retries remain: sleep until the
+                # soonest becomes ready.
+                wake = min(p.ready_at for p in queue)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+            now = time.monotonic()
+            waits = [d - now for w in busy
+                     if (d := deadline(w)) is not None]
+            waits += [p.ready_at - now for p in queue
+                      if p.ready_at > now]
+            timeout = max(0.0, min(waits)) if waits else None
+            ready_conns = conn_wait([w.conn for w in busy], timeout)
+            for w in busy:
+                if w.conn not in ready_conns:
+                    continue
+                try:
+                    while w.inflight and w.conn.poll():
+                        on_message(w, w.conn.recv())
+                except (EOFError, OSError):
+                    on_broken(w)
+            now = time.monotonic()
+            for w in list(pl.workers):
+                d = deadline(w)
+                if d is None or d > now:
+                    continue
+                # Drain any result that raced the deadline before
+                # declaring the timeout.
+                try:
+                    while w.inflight and w.conn.poll():
+                        on_message(w, w.conn.recv())
+                except (EOFError, OSError):
+                    on_broken(w)
+                    continue
+                d = deadline(w)
+                if d is not None and d <= now:
+                    fail_head(w, "timeout")
+
+        for w in pl.workers:
+            if w.served:
+                ms.dist("exp.pool.reuse", w.served)
+        spawned = pool_mod.spawn_count() - spawned_before
+        if spawned:
+            ms.counter("exp.pool.spawns", spawned)
+
 
 def default_runner() -> ParallelRunner:
     """Runner configured from the environment.
@@ -465,6 +751,13 @@ def default_runner() -> ParallelRunner:
     ``REPRO_CACHE_DIR``    relocates the cache (see :mod:`repro.exp.cache`)
     ``REPRO_JOB_TIMEOUT``  default per-job timeout in seconds (unset,
                            empty or invalid means no timeout)
+    ``REPRO_POOL``         scheduler: ``persistent`` (warm shared pool,
+                           default) or ``per-job`` (fresh process per
+                           attempt) -- honoured by every runner that
+                           does not pass ``pool=`` explicitly
+    ``REPRO_CHUNK``        jobs per pool dispatch (``1`` disables
+                           chunking; unset or ``<= 0`` sizes chunks
+                           automatically)
 
     Invalid values fall back to the defaults rather than raising, so a
     stray environment variable can never break a batch.
@@ -474,12 +767,8 @@ def default_runner() -> ParallelRunner:
     except ValueError:
         jobs = 1
     no_cache = os.environ.get(ENV_NO_CACHE, "").lower() in _TRUTHY
-    timeout_s: float | None
-    try:
-        timeout_s = float(os.environ[ENV_JOB_TIMEOUT])
-    except (KeyError, ValueError):
-        timeout_s = None
-    if timeout_s is not None and timeout_s <= 0:
-        timeout_s = None
-    return ParallelRunner(jobs=jobs, use_cache=not no_cache,
-                          timeout_s=timeout_s)
+    # REPRO_JOB_TIMEOUT / REPRO_POOL / REPRO_CHUNK are resolved by
+    # ParallelRunner.__init__ itself (explicit argument beats the
+    # environment), so every construction site honours them -- the CLI
+    # included, not just this helper.
+    return ParallelRunner(jobs=jobs, use_cache=not no_cache)

@@ -61,7 +61,8 @@ def execute(spec: JobSpec) -> Any:
 # ---------------------------------------------------------------------------
 
 @task("selftest")
-def _selftest(x: float = 1.0, fail: bool = False) -> float:
+def _selftest(x: float = 1.0, fail: bool = False,
+              array_len: int = 0):
     """Built-in probe: doubles ``x`` inside a traced, metered span.
 
     Registered here (not in a test module) so it exists in ``spawn``
@@ -69,12 +70,20 @@ def _selftest(x: float = 1.0, fail: bool = False) -> float:
     registrations never reach them.  Emits one ``selftest.work`` span
     and one ``exp.selftest`` counter tick so engine tests can assert
     that worker observability survives any start method.
+
+    With ``array_len > 0`` the result is a float64 array of that length
+    (scaled by ``x``) instead of a scalar, giving engine tests a
+    deterministic large payload to push through the pool's
+    shared-memory transport.
     """
     from .. import obs
     with obs.span("selftest.work", x=x):
         if fail:
             raise RuntimeError("selftest asked to fail")
         obs.metrics.metric_set().counter("exp.selftest")
+        if array_len:
+            import numpy as np
+            return np.arange(array_len, dtype=np.float64) * x
         return 2.0 * x
 
 

@@ -102,7 +102,8 @@ def _runner_from_args(args) -> ParallelRunner:
     cache = (NullCache() if args.no_cache
              else ResultCache(args.cache_dir))
     return ParallelRunner(jobs=getattr(args, "jobs", 1), cache=cache,
-                          timeout_s=getattr(args, "job_timeout", None))
+                          timeout_s=getattr(args, "job_timeout", None),
+                          pool=getattr(args, "pool", None))
 
 
 def _arch_from_args(args) -> ArchParams:
@@ -189,11 +190,30 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--job-timeout", dest="job_timeout", type=float,
                    default=None, metavar="S",
                    help="kill any single job after S seconds")
+    p.add_argument("--pool", choices=["persistent", "per-job"],
+                   default=None,
+                   help="scheduler: warm shared worker pool "
+                        "(persistent, default) or a fresh process per "
+                        "job attempt (per-job); default honours "
+                        "$REPRO_POOL")
     p.add_argument("-o", "--output", default=None,
                    help="write the result rows as JSON here")
     _add_cache_args(p)
     _add_trace_arg(p)
     _add_rundb_args(p)
+
+    p = sub.add_parser("cache", help="inspect or prune the experiment "
+                                     "result cache")
+    p.add_argument("action", choices=["stats", "prune"],
+                   help="stats: entry count / bytes / age summary; "
+                        "prune: delete entries (optionally by age)")
+    p.add_argument("--cache-dir", dest="cache_dir", default=None,
+                   help="cache root (default $REPRO_CACHE_DIR or "
+                        "~/.cache/repro-exp)")
+    p.add_argument("--max-age-days", dest="max_age_days", type=float,
+                   default=None, metavar="D",
+                   help="prune: only delete entries older than D days "
+                        "(default: all)")
 
     p = sub.add_parser("trace", help="render a recorded trace as a "
                                      "span tree")
@@ -383,6 +403,9 @@ def _dispatch(args, parser) -> int:
     if args.cmd == "exp":
         return _run_exp(args)
 
+    if args.cmd == "cache":
+        return _run_cache(args)
+
     parser.error(f"unknown command {args.cmd!r}")
     return 2
 
@@ -505,6 +528,47 @@ def _run_report(args) -> int:
         db.close()
     Path(args.html).write_text(html)
     print(f"wrote {args.html}")
+    return 0
+
+
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def _run_cache(args) -> int:
+    """``repro-flow cache``: stats for / prune the on-disk result cache."""
+    import time as _time
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        entries = cache.entries()
+        total = sum(size for _, size, _ in entries)
+        print(f"cache root:   {cache.root}")
+        print(f"entries:      {len(entries)}")
+        print(f"total size:   {_human_bytes(total)}")
+        if entries:
+            now = _time.time()
+            ages = [now - mtime for _, _, mtime in entries]
+            print(f"age:          newest {min(ages) / 3600:.1f} h, "
+                  f"oldest {max(ages) / 3600:.1f} h")
+        s = cache.stats()
+        lookups = s["hits"] + s["misses"]
+        if lookups:
+            print(f"this process: {s['hits']}/{lookups} hits "
+                  f"({s['lru_hits']} from the in-memory LRU)")
+        else:
+            print("this process: no lookups yet (hit-rate and LRU "
+                  "stats are per-process; see exp.cache.lru_hits in "
+                  "recorded runs)")
+        return 0
+    max_age_s = (args.max_age_days * 86400.0
+                 if args.max_age_days is not None else None)
+    removed, freed = cache.prune(max_age_s)
+    print(f"pruned {removed} entries ({_human_bytes(freed)}) "
+          f"from {cache.root}")
     return 0
 
 

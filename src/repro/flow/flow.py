@@ -35,7 +35,7 @@ from ..arch import (ArchParams, DEFAULT_ARCH, build_rr_graph,
                     generate_arch_file)
 from ..bitgen import generate_bitstream
 from ..exp import (NullCache, ResultCache, canonical_json,
-                   repro_code_version)
+                   default_cache_dir, repro_code_version)
 from ..hdl.parser import check_syntax
 from ..hdl.synth import synthesize
 from ..netlist.blif import write_blif
@@ -113,6 +113,26 @@ class FlowResult:
         return out
 
 
+#: Process-shared stage caches keyed by resolved cache root.  Sharing
+#: one :class:`ResultCache` across every flow with the same root lets
+#: its in-process LRU layer serve repeated stage keys (parameter
+#: sweeps, re-runs inside one session) straight from memory -- the disk
+#: store already made concurrent sharing safe, so this only changes
+#: where warm reads are served from.
+_STAGE_CACHES: dict[str, ResultCache] = {}
+
+
+def _stage_cache(cache_dir) -> ResultCache:
+    # Resolve the root eagerly: with no explicit dir the default
+    # follows $REPRO_CACHE_DIR, which may differ between flows.
+    root = Path(cache_dir) if cache_dir else default_cache_dir()
+    key = str(root.resolve())
+    cache = _STAGE_CACHES.get(key)
+    if cache is None:
+        cache = _STAGE_CACHES[key] = ResultCache(root)
+    return cache
+
+
 class DesignFlow:
     """Stage-by-stage driver with timing and artifact output."""
 
@@ -128,7 +148,7 @@ class DesignFlow:
                       if self.options.work_dir else None)
         if self._work:
             self._work.mkdir(parents=True, exist_ok=True)
-        self._cache = (ResultCache(self.options.cache_dir)
+        self._cache = (_stage_cache(self.options.cache_dir)
                        if self.options.use_cache else NullCache())
         self._fp: str = ""   # running content fingerprint of the flow
 
@@ -175,6 +195,7 @@ class DesignFlow:
                       circuit=self.result.name or "") as sp, \
                 obs.profiled(sp, "flow", stage=stage):
             t0 = time.perf_counter()
+            lru_before = getattr(self._cache, "lru_hits", 0)
             hit, value = self._cache.get(key)
             if not hit:
                 value = compute()
@@ -189,6 +210,8 @@ class DesignFlow:
                 stage=stage)
         if hit:
             ms.counter("flow.cache_hits")
+            if getattr(self._cache, "lru_hits", 0) > lru_before:
+                ms.counter("exp.cache.lru_hits")
         return value
 
     def _save(self, name: str, data: str | bytes) -> None:

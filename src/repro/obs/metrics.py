@@ -486,6 +486,29 @@ for _spec in [
                "spent on flaky jobs", direction="lower"),
     MetricSpec("exp.job_seconds", DIST, "s", "per-job wall time",
                direction="lower"),
+    MetricSpec("exp.retry_wait_s", DIST, "s", "scheduler wait spent on "
+               "retry backoff before re-running a failed job",
+               direction="lower"),
+    MetricSpec("exp.cache.lru_hits", COUNTER, "hits", "cache reads "
+               "served by the in-process LRU layer (no disk I/O)"),
+    # -- persistent worker pool ----------------------------------------
+    MetricSpec("exp.pool.workers", GAUGE, "procs", "warm pooled "
+               "workers serving the batch"),
+    MetricSpec("exp.pool.spawns", COUNTER, "procs", "pooled worker "
+               "processes spawned (pool creation plus crash/timeout "
+               "replacements)", direction="lower"),
+    MetricSpec("exp.pool.reuse", DIST, "jobs", "jobs served per pooled "
+               "worker over its lifetime (the per-job scheduler is "
+               "pinned at 1 by construction)", direction="higher"),
+    MetricSpec("exp.pool.chunk_size", DIST, "jobs", "jobs grouped into "
+               "one pool dispatch to amortize IPC"),
+    MetricSpec("exp.pool.dispatch_s", DIST, "s", "latency from chunk "
+               "send to worker acknowledgement", direction="lower"),
+    MetricSpec("exp.pool.shm_bytes", COUNTER, "B", "result payload "
+               "moved through shared memory instead of pipe pickling"),
+    MetricSpec("exp.pool.speedup", GAUGE, "x", "measured warm-pool "
+               "speedup over the process-per-job scheduler",
+               direction="higher"),
 ]:
     REGISTRY.register(_spec)
 del _spec

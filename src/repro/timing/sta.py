@@ -76,23 +76,23 @@ def elmore_sink_delays(tree: RouteTree, g: RRGraph,
         if parent >= 0:
             children.setdefault(parent, []).append(node)
 
+    # Downstream capacitance by iterative post-order (explicit stack):
+    # children are summed in the same order as the child lists, so the
+    # float results match the recursive formulation bit for bit, and a
+    # route tree of any depth needs no recursion-limit games.
     cdown: dict[int, float] = {}
-
-    def compute_cdown(n: int) -> float:
+    stack: list[tuple[int, bool]] = [(tree.source, False)]
+    while stack:
+        n, ready = stack.pop()
+        if ready:
+            cdown[n] = g.nodes[n].c_f + sum(cdown[c]
+                                            for c in children.get(n, ()))
+            continue
         if n in cdown:
-            return cdown[n]
-        total = g.nodes[n].c_f + sum(compute_cdown(c)
-                                     for c in children.get(n, ()))
-        cdown[n] = total
-        return total
-
-    import sys
-    old = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old, len(tree.parents) + 100))
-    try:
-        compute_cdown(tree.source)
-    finally:
-        sys.setrecursionlimit(old)
+            continue
+        stack.append((n, True))
+        for c in reversed(children.get(n, ())):
+            stack.append((c, False))
 
     out: dict[int, float] = {}
     for sink in sinks:
@@ -133,30 +133,57 @@ def analyze_timing(cn: ClusteredNetlist, placement: Placement,
 
     arrival: dict[str, float] = {}
 
-    def net_arrival(netname: str, stack: tuple = ()) -> float:
+    def net_arrival(netname: str) -> float:
+        """Arrival at a net's driver output, by iterative DFS.
+
+        Explicit two-phase stack with memoization, so arbitrarily deep
+        combinational chains need no recursion-limit mutation.
+        ``on_path`` holds the combinational nets currently being
+        expanded: meeting one again closes a cycle (registered outputs
+        and primary inputs resolve immediately and can never be on the
+        path, matching the recursive formulation's semantics).
+        """
         if netname in arrival:
             return arrival[netname]
-        if netname in cn.inputs:
-            arrival[netname] = 0.0
-            return 0.0
-        clb, ble = driver_ble[netname]
-        if ble.registered:
-            # Registered outputs start a fresh path: no cycle possible.
-            arrival[netname] = arch.ff_clk_to_q_s
-            return arrival[netname]
-        if netname in stack:
-            raise ValueError(f"combinational loop through {netname!r}")
-        t = 0.0
-        for inp in ble.inputs:
-            t_in = _input_arrival(inp, clb, netname, stack)
-            t = max(t, t_in)
-        t += arch.local_mux_delay_s + arch.lut_delay_s
-        arrival[netname] = t
-        return t
+        on_path: set[str] = set()
+        stack: list[tuple[str, bool]] = [(netname, False)]
+        while stack:
+            name, ready = stack.pop()
+            if ready:
+                clb, ble = driver_ble[name]
+                t = 0.0
+                for inp in ble.inputs:
+                    src = arrival[inp]
+                    src_clb = driver_ble.get(inp, (None,))[0]
+                    if src_clb != clb:
+                        src += net_delay.get(inp, {}).get(clb, 0.0)
+                    t = max(t, src)
+                t += arch.local_mux_delay_s + arch.lut_delay_s
+                arrival[name] = t
+                on_path.discard(name)
+                continue
+            if name in arrival:
+                continue
+            if name in cn.inputs:
+                arrival[name] = 0.0
+                continue
+            clb, ble = driver_ble[name]
+            if ble.registered:
+                # Registered outputs start a fresh path: no cycle
+                # possible.
+                arrival[name] = arch.ff_clk_to_q_s
+                continue
+            if name in on_path:
+                raise ValueError(f"combinational loop through {name!r}")
+            on_path.add(name)
+            stack.append((name, True))
+            for inp in reversed(ble.inputs):
+                if inp not in arrival:
+                    stack.append((inp, False))
+        return arrival[netname]
 
-    def _input_arrival(inp: str, clb: str, netname: str,
-                       stack: tuple) -> float:
-        src = net_arrival(inp, stack + (netname,))
+    def _input_arrival(inp: str, clb: str) -> float:
+        src = net_arrival(inp)
         src_clb = driver_ble.get(inp, (None,))[0]
         if src_clb == clb:
             return src                    # local feedback: crossbar only
@@ -174,10 +201,10 @@ def analyze_timing(cn: ClusteredNetlist, placement: Placement,
             if b.lut is not None:
                 t = 0.0
                 for inp in b.inputs:
-                    t = max(t, _input_arrival(inp, c.name, b.output, ()))
+                    t = max(t, _input_arrival(inp, c.name))
                 t += arch.local_mux_delay_s + arch.lut_delay_s
             else:
-                t = _input_arrival(b.inputs[0], c.name, b.output, ())
+                t = _input_arrival(b.inputs[0], c.name)
             t += arch.ff_setup_s
             if t > worst:
                 worst, worst_name = t, f"ff:{b.output}"

@@ -14,13 +14,16 @@ are forked on Linux, so they inherit the registry.
 
 import multiprocessing as mp
 import os
+import pickle
+import signal
+import threading
 import time
 
 import pytest
 
 from repro import obs
 from repro.exp import (JobError, JobFailedError, JobSpec, NullCache,
-                      ParallelRunner, ResultCache)
+                      ParallelRunner, ResultCache, get_pool)
 from repro.exp.tasks import task
 
 pytestmark = pytest.mark.skipif(
@@ -70,6 +73,21 @@ def _traced(depth: int = 2, **_ignored):
         with obs.span("task.inner"):
             pass
     return "traced"
+
+
+@task("_test_killable")
+def _killable(pid_file: str = "", once_marker: str = "", **_ignored):
+    """First attempt: publish the worker pid and hang (so the test can
+    SIGKILL the worker mid-job).  Any retry returns immediately."""
+    if os.path.exists(once_marker):
+        return {"pid": os.getpid(), "retried": True}
+    with open(once_marker, "w") as fh:
+        fh.write("x")
+    with open(pid_file + ".tmp", "w") as fh:
+        fh.write(str(os.getpid()))
+    os.replace(pid_file + ".tmp", pid_file)   # atomic: no partial reads
+    time.sleep(30.0)
+    return "survived the kill window"
 
 
 def runner(tmp_path, jobs=2, **kw):
@@ -242,6 +260,136 @@ class TestCheckpointing:
         results = ParallelRunner(jobs=2, cache=cache).run(all_specs)
         assert [r.cached for r in results] == [True, True, False, False]
         assert [r.value["tag"] for r in results] == [0, 1, 2, 3]
+
+
+class TestPoolFaultMatrix:
+    """Supervision contract of the persistent warm pool: a killed or
+    overdue worker is replaced, the victim job retries per its spec,
+    and jobs on healthy workers are untouched."""
+
+    def test_sigkill_mid_job_replaces_worker_and_retries(self, tmp_path):
+        pool = get_pool(2)
+        pids_before = {w.proc.pid for w in pool.workers}
+        pid_file = str(tmp_path / "victim.pid")
+        marker = str(tmp_path / "ran.once")
+
+        def sniper():
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if os.path.exists(pid_file):
+                    os.kill(int(open(pid_file).read()), signal.SIGKILL)
+                    return
+                time.sleep(0.005)
+
+        shooter = threading.Thread(target=sniper, daemon=True)
+        shooter.start()
+        specs = [JobSpec.make("_test_killable", pid_file=pid_file,
+                              once_marker=marker, retries=1,
+                              timeout_s=25.0)]
+        specs += [JobSpec.make("_test_quick", tag=t, timeout_s=25.0)
+                  for t in range(1, 5)]
+        with obs.metrics.collect() as ms:
+            results = runner(tmp_path, pool="persistent",
+                             backoff_s=0.01).run(specs)
+        shooter.join(5.0)
+
+        victim, *healthy = results
+        assert victim.ok and victim.attempts == 2
+        assert victim.value["retried"] is True
+        for t, r in enumerate(healthy, start=1):
+            assert r.ok and r.value["tag"] == t
+        # The supervisor spawned at least one replacement...
+        rows = {(r["name"]): r for r in ms.export()}
+        assert rows["exp.pool.spawns"]["value"] >= 1
+        # ...and the pool is healthy again: same size, all alive, with
+        # the murdered pid gone.
+        pool = get_pool(2)
+        assert len(pool.workers) == 2
+        assert all(w.proc.is_alive() for w in pool.workers)
+        pids_after = {w.proc.pid for w in pool.workers}
+        killed = {int(open(pid_file).read())}
+        assert not (killed & pids_after)
+        assert pids_before  # sanity: pool existed before the batch
+
+    def test_pool_timeout_charges_only_the_overdue_job(self, tmp_path):
+        specs = [JobSpec.make("_test_sleep", seconds=30.0,
+                              timeout_s=0.5),
+                 JobSpec.make("_test_quick", tag=1, timeout_s=25.0),
+                 JobSpec.make("_test_quick", tag=2, timeout_s=25.0)]
+        t0 = time.monotonic()
+        timed, a, b = runner(tmp_path, pool="persistent").run(specs)
+        assert time.monotonic() - t0 < 10.0
+        assert not timed.ok and timed.error.is_timeout
+        assert "0.5" in timed.error.message
+        assert a.ok and a.value["tag"] == 1
+        assert b.ok and b.value["tag"] == 2
+
+    def test_chunked_siblings_requeue_without_burning_attempts(
+            self, tmp_path):
+        """Kill the worker while it runs the head of a chunk: the
+        sibling jobs queued behind it in the same chunk must complete
+        with ``attempts == 1`` (they never started)."""
+        pid_file = str(tmp_path / "victim.pid")
+        marker = str(tmp_path / "ran.once")
+
+        def sniper():
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if os.path.exists(pid_file):
+                    os.kill(int(open(pid_file).read()), signal.SIGKILL)
+                    return
+                time.sleep(0.005)
+
+        threading.Thread(target=sniper, daemon=True).start()
+        specs = [JobSpec.make("_test_killable", pid_file=pid_file,
+                              once_marker=marker, retries=1,
+                              timeout_s=25.0)]
+        specs += [JobSpec.make("_test_quick", tag=t, timeout_s=25.0)
+                  for t in range(1, 9)]
+        # One worker and one big chunk: every job rides behind the
+        # victim in its chunk.
+        results = ParallelRunner(jobs=1, cache=NullCache(),
+                                 pool="persistent", chunk=16,
+                                 timeout_s=25.0,
+                                 backoff_s=0.01).run(specs)
+        victim, *rest = results
+        assert victim.ok and victim.attempts == 2
+        assert all(r.ok and r.attempts == 1 for r in rest)
+        assert [r.value["tag"] for r in rest] == list(range(1, 9))
+
+    def test_pool_worker_reuse_across_batches(self, tmp_path):
+        specs = [JobSpec.make("_test_quick", tag=t) for t in range(6)]
+        r = ParallelRunner(jobs=3, cache=NullCache(), pool="persistent")
+        pids_a = {x.value["pid"] for x in r.run(specs)}
+        pids_b = {x.value["pid"] for x in r.run(specs)}
+        assert pids_a == pids_b, "warm workers were not reused"
+        assert len(pids_a) <= 3
+
+
+class TestPoolDeterminism:
+    def test_values_identical_across_workers_chunking_and_modes(
+            self, tmp_path):
+        """Acceptance contract: bit-identical JobResult values for
+        jobs=1/2/8, chunking on/off, and both pool modes."""
+        specs = [JobSpec.make("selftest", x=float(t))
+                 for t in range(12)]
+        specs.append(JobSpec.make("selftest", x=3.5, array_len=20_000))
+        baseline = None
+        for jobs in (1, 2, 8):
+            for chunk in (1, 4):
+                res = ParallelRunner(jobs=jobs, cache=NullCache(),
+                                     pool="persistent",
+                                     chunk=chunk).run(specs)
+                assert all(r.ok for r in res)
+                blob = pickle.dumps([r.value for r in res])
+                if baseline is None:
+                    baseline = blob
+                assert blob == baseline, \
+                    f"jobs={jobs} chunk={chunk} diverged"
+        res = ParallelRunner(jobs=4, cache=NullCache(),
+                             pool="per-job").run(specs)
+        assert pickle.dumps([r.value for r in res]) == baseline, \
+            "per-job oracle diverged from the persistent pool"
 
 
 class TestJobErrorShape:

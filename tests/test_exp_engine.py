@@ -1,13 +1,18 @@
 """Unit tests for the batch experiment engine (:mod:`repro.exp`).
 
 Covers the runner contract (deterministic ordering, timing and failure
-capture), cache behaviour (hit/miss accounting, warm-run speedup,
-atomic sharing between runners) and the determinism lock the engine
-rework must preserve: the design flow yields an identical bitstream
-and placement whether run serially or fanned out over a worker pool.
+capture), cache behaviour (hit/miss accounting, the in-process LRU
+layer, pruning, warm-run speedup, atomic sharing between runners),
+scheduler selection (``pool=`` / ``REPRO_POOL``), the pool's
+shared-memory transport and wire protocol, and the determinism lock
+the engine rework must preserve: the design flow yields an identical
+bitstream and placement whether run serially or fanned out over a
+worker pool.
 """
 
+import os
 import pickle
+import threading
 import time
 
 import pytest
@@ -88,7 +93,10 @@ class TestResultCache:
         key = "cd" + "1" * 62
         cache.put(key, [1, 2, 3])
         cache.path_for(key).write_bytes(garbage)
-        hit, _ = cache.get(key)
+        # Read through a fresh instance: the writer's in-process LRU
+        # still holds the good blob, but a disk read must see the
+        # corruption and report a miss.
+        hit, _ = ResultCache(tmp_path).get(key)
         assert not hit
 
     def test_null_cache_never_stores(self, tmp_path):
@@ -196,6 +204,260 @@ class TestParallelRunner:
     def test_invalid_jobs_falls_back_to_serial(self, monkeypatch, value):
         monkeypatch.setenv("REPRO_JOBS", value)
         assert default_runner().jobs == 1
+
+
+# ---------------------------------------------------------------------------
+# In-process LRU layer over the disk cache
+# ---------------------------------------------------------------------------
+
+class TestCacheLRU:
+    KEY = "ab" * 32
+
+    def test_warm_get_served_from_memory(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(self.KEY, {"v": 1})
+        hit, value = cache.get(self.KEY)
+        assert hit and value == {"v": 1}
+        assert cache.lru_hits == 1
+        # Even with the disk entry gone, the LRU still answers.
+        cache.path_for(self.KEY).unlink()
+        hit, value = cache.get(self.KEY)
+        assert hit and value == {"v": 1}
+        assert cache.hits == 2 and cache.lru_hits == 2
+
+    def test_lru_hits_are_a_subset_of_hits(self, tmp_path):
+        # The external contract (hits counts *every* successful get)
+        # must not change when the serving layer does.
+        cache = ResultCache(tmp_path)
+        cache.put(self.KEY, 42)
+        fresh = ResultCache(tmp_path)  # cold LRU, warm disk
+        assert fresh.get(self.KEY) == (True, 42)
+        assert fresh.hits == 1 and fresh.lru_hits == 0
+        assert fresh.get(self.KEY) == (True, 42)
+        assert fresh.hits == 2 and fresh.lru_hits == 1
+
+    def test_hits_return_fresh_objects_not_aliases(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(self.KEY, {"rows": [1, 2]})
+        _, first = cache.get(self.KEY)
+        first["rows"].append(99)
+        _, second = cache.get(self.KEY)
+        assert second == {"rows": [1, 2]}
+
+    def test_byte_budget_bounds_and_evicts(self, tmp_path):
+        value = "x" * 100
+        blob_len = len(pickle.dumps(value,
+                                    protocol=pickle.HIGHEST_PROTOCOL))
+        # Room for two blobs, not three.
+        cache = ResultCache(tmp_path, lru_mb=2.5 * blob_len / 2**20)
+        keys = [f"{i:02d}" * 32 for i in range(3)]
+        for key in keys:
+            cache.put(key, value)
+        assert cache.lru_bytes() == 2 * blob_len
+        # The oldest key fell out of memory but still hits on disk.
+        assert cache.get(keys[0]) == (True, value)
+        assert cache.lru_hits == 0
+        assert cache.get(keys[2]) == (True, value)
+        assert cache.lru_hits == 1
+
+    def test_zero_budget_disables_the_layer(self, tmp_path):
+        cache = ResultCache(tmp_path, lru_mb=0)
+        cache.put(self.KEY, 1)
+        assert cache.get(self.KEY) == (True, 1)
+        assert cache.lru_hits == 0 and cache.lru_bytes() == 0
+
+    def test_budget_env_parsing(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_LRU_MB", "1")
+        assert ResultCache(tmp_path)._lru_limit == 2**20
+        monkeypatch.setenv("REPRO_CACHE_LRU_MB", "nope")
+        assert ResultCache(tmp_path)._lru_limit == 64 * 2**20
+
+    def test_stats_include_lru_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(self.KEY, 1)
+        cache.get(self.KEY)
+        assert cache.stats() == {"hits": 1, "misses": 0, "puts": 1,
+                                 "lru_hits": 1}
+
+
+# ---------------------------------------------------------------------------
+# Cache maintenance: entries / prune
+# ---------------------------------------------------------------------------
+
+class TestCacheMaintenance:
+    def test_entries_and_total_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        k1, k2 = "aa" * 32, "bb" * 32
+        cache.put(k1, list(range(10)))
+        cache.put(k2, "payload")
+        entries = cache.entries()
+        assert [key for key, _, _ in entries] == sorted([k1, k2])
+        assert all(size > 0 and mtime > 0 for _, size, mtime in entries)
+        assert cache.total_bytes() == sum(s for _, s, _ in entries)
+        assert NullCache().entries() == []
+
+    def test_prune_by_age_spares_fresh_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        old_key, new_key = "aa" * 32, "bb" * 32
+        cache.put(old_key, 1)
+        cache.put(new_key, 2)
+        stale = time.time() - 3600
+        os.utime(cache.path_for(old_key), (stale, stale))
+        removed, freed = cache.prune(max_age_s=60.0)
+        assert removed == 1 and freed > 0
+        assert list(cache.keys()) == [new_key]
+        # The pruned key is gone from the LRU layer too.
+        hit, _ = cache.get(old_key)
+        assert not hit
+
+    def test_prune_without_age_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" * 32, i)
+        removed, _ = cache.prune()
+        assert removed == 3 and len(cache) == 0
+        assert cache.prune() == (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler selection (pool= / REPRO_POOL, chunk= / REPRO_CHUNK)
+# ---------------------------------------------------------------------------
+
+class TestPoolSelection:
+    def test_env_selects_scheduler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "per-job")
+        assert default_runner().pool == "per-job"
+        monkeypatch.setenv("REPRO_POOL", "persistent")
+        assert default_runner().pool == "persistent"
+        monkeypatch.delenv("REPRO_POOL")
+        assert default_runner().pool == "persistent"
+
+    @pytest.mark.parametrize("value", ["", "magic", "PERJOB"])
+    def test_invalid_env_falls_back_to_persistent(self, monkeypatch,
+                                                  value):
+        monkeypatch.setenv("REPRO_POOL", value)
+        assert default_runner().pool == "persistent"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "persistent")
+        runner = ParallelRunner(pool="per-job", cache=NullCache())
+        assert runner.pool == "per-job"
+
+    def test_invalid_explicit_argument_raises(self):
+        with pytest.raises(ValueError, match="pool must be one of"):
+            ParallelRunner(pool="magic", cache=NullCache())
+
+    def test_chunk_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK", "7")
+        assert default_runner().chunk == 7
+        for auto in ("0", "-1", "nope", ""):
+            monkeypatch.setenv("REPRO_CHUNK", auto)
+            assert default_runner().chunk is None
+
+    def test_chunk_target_scaling(self):
+        runner = ParallelRunner(jobs=4, cache=NullCache())
+        assert runner._chunk_target(4) == 1
+        assert runner._chunk_target(200) == 13  # ceil(200 / (4 * 4))
+        assert runner._chunk_target(10**6) == 32  # capped
+        fixed = ParallelRunner(jobs=2, cache=NullCache(), chunk=5)
+        assert fixed._chunk_target(1000) == 5
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory transport and the pool wire protocol
+# ---------------------------------------------------------------------------
+
+class TestShmTransport:
+    def test_encode_decode_roundtrip_is_bit_identical(self):
+        np = pytest.importorskip("numpy")
+        from multiprocessing import shared_memory
+
+        from repro.exp import pool as pool_mod
+        arr = np.arange(50_000, dtype=np.float64)
+        value = {"a": arr, "nested": [1, (arr * 2.0,)], "s": "text"}
+        encoded, names, nbytes = pool_mod.encode_value(value,
+                                                       min_bytes=1024)
+        assert len(names) == 2
+        assert nbytes == 2 * arr.nbytes
+        assert isinstance(encoded["a"], pool_mod.ShmRef)
+        decoded, got = pool_mod.decode_value(encoded)
+        assert got == nbytes
+        assert pickle.dumps(decoded) == pickle.dumps(value)
+        # Decode unlinks every segment; nothing leaks.
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_small_and_noncontiguous_arrays_stay_inline(self):
+        np = pytest.importorskip("numpy")
+        from repro.exp import pool as pool_mod
+        small = np.arange(4, dtype=np.float64)
+        fortran = np.asfortranarray(
+            np.arange(10_000, dtype=np.float64).reshape(100, 100))
+        strided = np.arange(50_000, dtype=np.float64)[::2]
+        encoded, names, nbytes = pool_mod.encode_value(
+            [small, fortran, strided], min_bytes=1024)
+        assert names == [] and nbytes == 0
+        assert encoded[0] is small and encoded[1] is fortran
+        assert encoded[2] is strided
+
+    def test_disabled_transport_passes_values_through(self, monkeypatch):
+        np = pytest.importorskip("numpy")
+        from repro.exp import pool as pool_mod
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "0")
+        assert pool_mod.shm_min_bytes() is None
+        arr = np.arange(50_000, dtype=np.float64)
+        encoded, names, nbytes = pool_mod.encode_value(arr)
+        assert encoded is arr and names == [] and nbytes == 0
+
+    def test_release_segments_unlinks_orphans(self):
+        np = pytest.importorskip("numpy")
+        from multiprocessing import shared_memory
+
+        from repro.exp import pool as pool_mod
+        arr = np.arange(20_000, dtype=np.float64)
+        _, names, _ = pool_mod.encode_value(arr, min_bytes=1024)
+        assert names
+        pool_mod.release_segments(names)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=names[0])
+        pool_mod.release_segments(names)  # idempotent
+
+    def test_worker_loop_protocol_in_thread(self):
+        # Drive the worker main loop over a real Pipe from a thread:
+        # one ack per chunk, one result per job in chunk order, clean
+        # exit on "stop".
+        import multiprocessing as mp
+
+        from repro.exp.pool import _pool_worker_main
+        parent, child = mp.Pipe(duplex=True)
+        worker = threading.Thread(target=_pool_worker_main,
+                                  args=(child,), daemon=True)
+        worker.start()
+        specs = [JobSpec.make("selftest", x=2.0),
+                 JobSpec.make("selftest", x=3.0)]
+        t_sent = time.monotonic()
+        parent.send(("run", None, specs))
+        op, t_recv = parent.recv()
+        assert op == "ack" and t_recv >= t_sent
+        for expected in (4.0, 6.0):
+            op, value, seconds, err, spans, metric_rows, shm_bytes = \
+                parent.recv()
+            assert op == "res" and err is None
+            assert value == expected and seconds >= 0
+            assert shm_bytes == 0
+            assert isinstance(spans, list)
+            assert isinstance(metric_rows, list)
+        # Failures travel as structured errors, not crashes.
+        parent.send(("run", None,
+                     [JobSpec.make("selftest", x=1.0, fail=True)]))
+        assert parent.recv()[0] == "ack"
+        op, value, _, err, _, _, _ = parent.recv()
+        assert op == "res" and value is None
+        assert err is not None and err.exc_type == "RuntimeError"
+        parent.send(("stop",))
+        worker.join(5.0)
+        assert not worker.is_alive()
 
 
 # ---------------------------------------------------------------------------
