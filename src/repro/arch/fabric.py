@@ -86,3 +86,13 @@ class FabricGrid:
         """Channels adjacent to CLB (x, y): bottom, top, left, right."""
         return [("chanx", x, y - 1), ("chanx", x, y),
                 ("chany", x - 1, y), ("chany", x, y)]
+
+    def clb_pin_channel(self, x: int, y: int,
+                        pin: int) -> tuple[str, int, int]:
+        """The channel CLB pin ``pin`` at (x, y) connects to.
+
+        Pins are distributed round-robin over the four sides, matching
+        the routing-resource graph's assignment; both the connection
+        boxes in the bitstream and the disassembler key off this.
+        """
+        return self.clb_channels(x, y)[pin % 4]

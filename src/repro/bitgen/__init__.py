@@ -4,7 +4,12 @@ from .bitstream import (BitstreamConfig, BitstreamError, ClbConfig,
                         IoConfig, SwitchBoxConfig, generate_bitstream,
                         generate_config, pack_bitstream,
                         unpack_bitstream)
+from .chipdb import (ChipDb, ChipDbError, build_chipdb,
+                     chipdb_schema_hash)
+from .disasm import DisasmError, Disassembly, disassemble
 
-__all__ = ["BitstreamConfig", "BitstreamError", "ClbConfig", "IoConfig",
-           "SwitchBoxConfig", "generate_bitstream", "generate_config",
+__all__ = ["BitstreamConfig", "BitstreamError", "ChipDb", "ChipDbError",
+           "ClbConfig", "DisasmError", "Disassembly", "IoConfig",
+           "SwitchBoxConfig", "build_chipdb", "chipdb_schema_hash",
+           "disassemble", "generate_bitstream", "generate_config",
            "pack_bitstream", "unpack_bitstream"]

@@ -2,50 +2,54 @@
 
 The paper's DAGGER turns the packing + placement + routing results into
 the bits that program the FPGA.  The original format is unpublished, so
-this module fully specifies one (documented below), together with a
-decoder and verifier, which is what makes the flow step testable.
+this module fully specifies one, together with a decoder and verifier,
+which is what makes the flow step testable.
 
-Frame layout (all multi-bit fields little-endian, bit 0 first):
+The frame *layout* -- which bit controls which LUT entry, crossbar
+mux, switch-box pair or IO pad -- is not computed here: it comes from
+the versioned chip database (:mod:`repro.bitgen.chipdb`), generated
+once per (architecture, grid size) pair.  :func:`pack_bitstream` and
+:func:`unpack_bitstream` are pure ``config + chipdb -> frames`` /
+``frames + chipdb -> config`` functions; the inverse direction up to a
+netlist lives in :mod:`repro.bitgen.disasm`.
 
-* **header** -- magic ``DAGR``, version, grid size, channel width,
-  N, K, I;
-* **CLB frames**, row-major over (x, y) in 1..size: per BLE the 2^K LUT
-  bits, the use-FF bit and K crossbar selects (5 bits each; value
-  0..I-1 = cluster input pin, I..I+N-1 = BLE feedback, 31 = unused);
-  one CLB clock-enable bit and per-BLE clock enables; per output pin a
-  5-bit source select (which BLE drives it; 31 = unused); then the
-  connection-box bits: W bits per input pin and W bits per output pin;
-* **switch-box frames** over corners (0..size, 0..size): per track six
-  pair bits in the order LR, LD, LU, RD, RU, DU (L = west chanx,
-  R = east chanx, D = south chany, U = north chany);
-* **IO frames** over perimeter pads: 2-bit mode (0 unused, 1 input,
-  2 output) plus W connection bits;
-* **CRC32** of everything preceding it.
+Stream framing (all multi-bit fields little-endian, bit 0 first):
+
+* **header** -- magic ``DAGR``, then one byte per
+  :data:`~repro.bitgen.chipdb.HEADER_FIELDS` entry (version, grid
+  size, channel width, N, K, I, N_out, io_rat);
+* **body** -- one frame per chip-database tile, in tile order: CLB
+  frames (LUT bits, use-FF, crossbar selects, clock enables, output
+  source selects, connection-box track masks), switch-box frames
+  (per-track pair bits) and IO pad frames (mode + track mask);
+* **CRC32** (little-endian) of everything preceding it.
 """
 
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from ..arch.fabric import FabricGrid, Site
 from ..arch.params import ArchParams
 from ..arch.rrgraph import RRGraph
 from ..netlist.logic import LogicNetwork
 from ..pack.cluster import ClusteredNetlist
 from ..place.placer import Placement
 from ..route.router import RoutingResult
+from .chipdb import (CRC_BYTES, HEADER_BYTES, HEADER_FIELDS, MAGIC,
+                     MODE_INPUT, MODE_OUTPUT, PAIR_ORDER, SEL_UNUSED,
+                     STREAM_VERSION, BitField, ChipDb, ChipDbError,
+                     build_chipdb)
 
 __all__ = ["ClbConfig", "SwitchBoxConfig", "IoConfig",
            "BitstreamConfig", "generate_config", "pack_bitstream",
-           "unpack_bitstream", "generate_bitstream", "BitstreamError"]
+           "unpack_bitstream", "generate_bitstream", "BitstreamError",
+           "MAGIC", "VERSION", "XBAR_UNUSED"]
 
-MAGIC = b"DAGR"
-VERSION = 1
-XBAR_UNUSED = 31
-_PAIR_ORDER = [("L", "R"), ("L", "D"), ("L", "U"),
-               ("R", "D"), ("R", "U"), ("D", "U")]
-_PAIR_INDEX = {p: i for i, p in enumerate(_PAIR_ORDER)}
+#: Backwards-compatible aliases; the chip database is authoritative.
+VERSION = STREAM_VERSION
+XBAR_UNUSED = SEL_UNUSED
+_PAIR_INDEX = {p: i for i, p in enumerate(PAIR_ORDER)}
 
 
 class BitstreamError(ValueError):
@@ -95,32 +99,43 @@ class BitstreamConfig:
 
     def config_bit_count(self) -> int:
         """Total configuration bits (reported by the flow)."""
-        a = self.arch
-        w = a.channel_width
-        per_clb = (a.n * ((1 << a.k) + 1 + 5 * a.k + 1) + 1
-                   + 5 * a.clb_outputs
-                   + a.inputs_per_clb * w + a.clb_outputs * w)
-        per_sb = 6 * w
-        per_io = 2 + w
-        return (per_clb * len(self.clbs) + per_sb * len(self.sbs)
-                + per_io * len(self.ios))
+        return build_chipdb(self.arch, self.size).body_bits
+
+
+def _check_db(db: ChipDb, arch: ArchParams, size: int) -> None:
+    """The database must describe exactly this fabric instance."""
+    want = (size, arch.n, arch.k, arch.inputs_per_clb,
+            arch.clb_outputs, arch.channel_width, arch.io_rat)
+    got = (db.size, db.n, db.k, db.inputs, db.outputs,
+           db.channel_width, db.io_rat)
+    if want != got:
+        raise BitstreamError(
+            f"chip database mismatch: fabric is (size, N, K, I, Nout, "
+            f"W, io_rat)={want} but the database describes {got}")
 
 
 # ---------------------------------------------------------------------------
 # Config generation from flow results
 # ---------------------------------------------------------------------------
 
-def _empty_clb(arch: ArchParams) -> ClbConfig:
-    w = arch.channel_width
+def _empty_clb(db: ChipDb | ArchParams) -> ClbConfig:
+    # Accepts the architecture directly as well: ChipDb names the CLB
+    # pin counts `inputs`/`outputs`, ArchParams derives them as
+    # `inputs_per_clb`/`clb_outputs`.
+    if isinstance(db, ArchParams):
+        inputs, outputs = db.inputs_per_clb, db.clb_outputs
+    else:
+        inputs, outputs = db.inputs, db.outputs
+    w = db.channel_width
     return ClbConfig(
-        lut_bits=[[0] * (1 << arch.k) for _ in range(arch.n)],
-        use_ff=[0] * arch.n,
-        xbar_sel=[[XBAR_UNUSED] * arch.k for _ in range(arch.n)],
-        ble_clk_en=[0] * arch.n,
+        lut_bits=[[0] * (1 << db.k) for _ in range(db.n)],
+        use_ff=[0] * db.n,
+        xbar_sel=[[XBAR_UNUSED] * db.k for _ in range(db.n)],
+        ble_clk_en=[0] * db.n,
         clb_clk_en=0,
-        out_src=[XBAR_UNUSED] * arch.clb_outputs,
-        cb_in=[[0] * w for _ in range(arch.inputs_per_clb)],
-        cb_out=[[0] * w for _ in range(arch.clb_outputs)],
+        out_src=[XBAR_UNUSED] * outputs,
+        cb_in=[[0] * w for _ in range(inputs)],
+        cb_out=[[0] * w for _ in range(outputs)],
     )
 
 
@@ -174,25 +189,26 @@ def _sb_corner_and_pair(g: RRGraph, a: int, b: int
 
 def generate_config(mapped: LogicNetwork, cn: ClusteredNetlist,
                     placement: Placement, routing: RoutingResult,
-                    g: RRGraph, arch: ArchParams) -> BitstreamConfig:
-    """Derive the full device configuration from the flow results."""
+                    g: RRGraph, arch: ArchParams,
+                    db: ChipDb | None = None) -> BitstreamConfig:
+    """Derive the full device configuration from the flow results.
+
+    All fabric geometry (which tiles exist, how many pins/tracks each
+    has) comes from the chip database; ``arch`` only tags the result.
+    """
     size = placement.grid_size
-    grid = FabricGrid(arch, size)
+    if db is None:
+        db = build_chipdb(arch, size)
+    _check_db(db, arch, size)
     cfg = BitstreamConfig(arch=arch, size=size)
-    w = arch.channel_width
 
-    for x, y in [(s.x, s.y) for s in grid.clb_sites()]:
-        cfg.clbs[(x, y)] = _empty_clb(arch)
-    for cx in range(size + 1):
-        for cy in range(size + 1):
-            cfg.sbs[(cx, cy)] = SwitchBoxConfig(
-                [[0] * 6 for _ in range(w)])
-    for s in grid.io_sites():
-        cfg.ios[(s.x, s.y, s.sub)] = IoConfig(0, [0] * w)
-
-    site_by_pos: dict[tuple[int, int, int], Site] = {}
-    for s in grid.all_sites():
-        site_by_pos[(s.x, s.y, s.sub)] = s
+    for t in db.tiles_of("clb"):
+        cfg.clbs[(t.x, t.y)] = _empty_clb(db)
+    for t in db.tiles_of("sb"):
+        cfg.sbs[(t.x, t.y)] = SwitchBoxConfig(
+            [[0] * len(PAIR_ORDER) for _ in range(db.channel_width)])
+    for t in db.tiles_of("io"):
+        cfg.ios[(t.x, t.y, t.sub)] = IoConfig(0, [0] * db.channel_width)
 
     # -- routing configuration (first: it also fixes which physical
     # input pin each net enters a CLB through, which the local
@@ -206,11 +222,8 @@ def generate_config(mapped: LogicNetwork, cn: ClusteredNetlist,
                 continue
             na = g.nodes[node]
             npar = g.nodes[parent]
-            kinds = (npar.kind, na.kind)
-            if kinds == ("CHANX", "CHANY") or \
-               kinds == ("CHANY", "CHANX") or \
-               kinds == ("CHANX", "CHANX") or \
-               kinds == ("CHANY", "CHANY"):
+            if na.kind in ("CHANX", "CHANY") and \
+                    npar.kind in ("CHANX", "CHANY"):
                 corner, pair, track = _sb_corner_and_pair(g, parent,
                                                           node)
                 cfg.sbs[corner].pair_bits[track][pair] = 1
@@ -221,19 +234,19 @@ def generate_config(mapped: LogicNetwork, cn: ClusteredNetlist,
                     cfg.clbs[pos].cb_in[na.ptc][track] = 1
                     in_pin_of[(pos, netname)] = na.ptc
                 else:
-                    io = _io_at(cfg, site_by_pos, na)
-                    io.mode = 2
+                    io = _io_at(cfg, na)
+                    io.mode = MODE_OUTPUT
                     io.cb[track] = 1
             elif npar.kind == "OPIN" and na.kind in ("CHANX", "CHANY"):
                 track = na.ptc
                 pos = (npar.x, npar.y)
                 if pos in cfg.clbs:
-                    pin = npar.ptc - arch.inputs_per_clb
+                    pin = npar.ptc - db.inputs
                     cfg.clbs[pos].cb_out[pin][track] = 1
                     out_pin_net[(pos, pin)] = netname
                 else:
-                    io = _io_at(cfg, site_by_pos, npar)
-                    io.mode = 1
+                    io = _io_at(cfg, npar)
+                    io.mode = MODE_INPUT
                     io.cb[track] = 1
 
     # -- CLB logic configuration ------------------------------------------
@@ -249,12 +262,12 @@ def generate_config(mapped: LogicNetwork, cn: ClusteredNetlist,
         for fallback, netname in enumerate(ext):
             src_index[netname] = in_pin_of.get((pos, netname), fallback)
         for j, b in enumerate(c.bles):
-            src_index[b.output] = arch.inputs_per_clb + j
+            src_index[b.output] = db.inputs + j
         any_ff = 0
         ble_of_net = {b.output: j for j, b in enumerate(c.bles)}
         for j, b in enumerate(c.bles):
             clb.lut_bits[j] = _lut_truth_bits(mapped, b.lut, b.inputs,
-                                              arch.k)
+                                              db.k)
             clb.use_ff[j] = 1 if b.registered else 0
             clb.ble_clk_en[j] = 1 if b.registered else 0
             any_ff |= clb.use_ff[j]
@@ -262,14 +275,14 @@ def generate_config(mapped: LogicNetwork, cn: ClusteredNetlist,
                 clb.xbar_sel[j][pin] = src_index[inp]
         clb.clb_clk_en = any_ff
         # Output-pin source selects: which BLE drives each used OPIN.
-        for pin in range(arch.clb_outputs):
+        for pin in range(db.outputs):
             netname = out_pin_net.get((pos, pin))
             if netname is not None:
                 clb.out_src[pin] = ble_of_net[netname]
     return cfg
 
 
-def _io_at(cfg: BitstreamConfig, site_by_pos, node) -> IoConfig:
+def _io_at(cfg: BitstreamConfig, node) -> IoConfig:
     sub = node.ptc // 4
     key = (node.x, node.y, sub)
     if key not in cfg.ios:
@@ -278,157 +291,204 @@ def _io_at(cfg: BitstreamConfig, site_by_pos, node) -> IoConfig:
 
 
 # ---------------------------------------------------------------------------
-# Bit-level packing
+# Bit-level packing (field access entirely through the chip database)
 # ---------------------------------------------------------------------------
 
-class _BitWriter:
-    def __init__(self):
-        self.bytes = bytearray()
-        self._acc = 0
-        self._n = 0
-
-    def bit(self, b: int) -> None:
-        self._acc |= (b & 1) << self._n
-        self._n += 1
-        if self._n == 8:
-            self.bytes.append(self._acc)
-            self._acc = 0
-            self._n = 0
-
-    def bits(self, value: int, width: int) -> None:
-        for i in range(width):
-            self.bit((value >> i) & 1)
-
-    def finish(self) -> bytes:
-        if self._n:
-            self.bytes.append(self._acc)
-            self._acc = 0
-            self._n = 0
-        return bytes(self.bytes)
+def _write_field(body: bytearray, base: int, f: BitField,
+                 value: int) -> None:
+    """Write ``value`` little-endian into field ``f`` of a tile frame."""
+    pos = base + f.offset
+    for i in range(f.width):
+        if (value >> i) & 1:
+            body[(pos + i) >> 3] |= 1 << ((pos + i) & 7)
 
 
-class _BitReader:
-    def __init__(self, data: bytes):
-        self.data = data
-        self.pos = 0
-
-    def bit(self) -> int:
-        byte = self.data[self.pos // 8]
-        b = (byte >> (self.pos % 8)) & 1
-        self.pos += 1
-        return b
-
-    def bits(self, width: int) -> int:
-        v = 0
-        for i in range(width):
-            v |= self.bit() << i
-        return v
+def _read_field(body: bytes, base: int, f: BitField) -> int:
+    pos = base + f.offset
+    v = 0
+    for i in range(f.width):
+        v |= ((body[(pos + i) >> 3] >> ((pos + i) & 7)) & 1) << i
+    return v
 
 
-def pack_bitstream(cfg: BitstreamConfig) -> bytes:
-    """Serialise a configuration to the DAGR bitstream."""
-    a = cfg.arch
-    w = a.channel_width
-    head = bytearray()
-    head += MAGIC
-    head += bytes([VERSION, cfg.size, w, a.n, a.k, a.inputs_per_clb,
-                   a.clb_outputs, a.io_rat])
+def _mask(bits: list[int]) -> int:
+    """Bit list (LSB first) -> integer mask."""
+    v = 0
+    for i, b in enumerate(bits):
+        v |= (b & 1) << i
+    return v
 
-    bw = _BitWriter()
-    for x in range(1, cfg.size + 1):
-        for y in range(1, cfg.size + 1):
-            clb = cfg.clbs[(x, y)]
-            for j in range(a.n):
-                for bit in clb.lut_bits[j]:
-                    bw.bit(bit)
-                bw.bit(clb.use_ff[j])
-                for sel in clb.xbar_sel[j]:
-                    bw.bits(sel, 5)
-                bw.bit(clb.ble_clk_en[j])
-            bw.bit(clb.clb_clk_en)
-            for src in clb.out_src:
-                bw.bits(src, 5)
-            for row in clb.cb_in:
-                for bit in row:
-                    bw.bit(bit)
-            for row in clb.cb_out:
-                for bit in row:
-                    bw.bit(bit)
-    for cx in range(cfg.size + 1):
-        for cy in range(cfg.size + 1):
-            sb = cfg.sbs[(cx, cy)]
-            for t in range(w):
-                for p in range(6):
-                    bw.bit(sb.pair_bits[t][p])
-    for key in sorted(cfg.ios):
-        io = cfg.ios[key]
-        bw.bits(io.mode, 2)
-        for bit in io.cb:
-            bw.bit(bit)
 
-    body = bw.finish()
-    payload = bytes(head) + body
+def _unmask(value: int, width: int) -> list[int]:
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def pack_bitstream(cfg: BitstreamConfig,
+                   db: ChipDb | None = None) -> bytes:
+    """Serialise a configuration to the DAGR bitstream.
+
+    Pure function of the configuration and the chip database: every
+    bit position is a database lookup, no architecture arithmetic.
+    """
+    if db is None:
+        db = build_chipdb(cfg.arch, cfg.size)
+    _check_db(db, cfg.arch, cfg.size)
+
+    header = db.header_values()
+    head = bytearray(MAGIC)
+    head += bytes(header[name] for name in HEADER_FIELDS)
+
+    body = bytearray((db.body_bits + 7) // 8)
+    for t in db.tiles:
+        if t.kind == "clb":
+            m = db.clb_map
+            clb = cfg.clbs[(t.x, t.y)]
+            for j in range(db.n):
+                _write_field(body, t.base, m.lut[j],
+                             _mask(clb.lut_bits[j]))
+                _write_field(body, t.base, m.use_ff[j], clb.use_ff[j])
+                for pin in range(db.k):
+                    _write_field(body, t.base, m.xbar[j][pin],
+                                 clb.xbar_sel[j][pin])
+                _write_field(body, t.base, m.ble_clk_en[j],
+                             clb.ble_clk_en[j])
+            _write_field(body, t.base, m.clb_clk_en, clb.clb_clk_en)
+            for pin, f in enumerate(m.out_src):
+                _write_field(body, t.base, f, clb.out_src[pin])
+            for pin, f in enumerate(m.cb_in):
+                _write_field(body, t.base, f, _mask(clb.cb_in[pin]))
+            for pin, f in enumerate(m.cb_out):
+                _write_field(body, t.base, f, _mask(clb.cb_out[pin]))
+        elif t.kind == "sb":
+            sb = cfg.sbs[(t.x, t.y)]
+            for track, f in enumerate(db.sb_map.pairs):
+                _write_field(body, t.base, f, _mask(sb.pair_bits[track]))
+        else:
+            io = cfg.ios[(t.x, t.y, t.sub)]
+            _write_field(body, t.base, db.io_map.mode, io.mode)
+            _write_field(body, t.base, db.io_map.cb, _mask(io.cb))
+
+    payload = bytes(head) + bytes(body)
     crc = zlib.crc32(payload) & 0xFFFFFFFF
-    return payload + crc.to_bytes(4, "little")
+    return payload + crc.to_bytes(CRC_BYTES, "little")
 
 
-def unpack_bitstream(data: bytes,
-                     arch: ArchParams | None = None) -> BitstreamConfig:
-    """Parse and CRC-check a DAGR bitstream back into a config."""
-    if len(data) < 16 or data[:4] != MAGIC:
-        raise BitstreamError("not a DAGR bitstream")
-    crc_stored = int.from_bytes(data[-4:], "little")
-    if zlib.crc32(data[:-4]) & 0xFFFFFFFF != crc_stored:
-        raise BitstreamError("CRC mismatch")
-    version, size, w, n, k, i, n_out, io_rat = data[4:12]
-    if version != VERSION:
-        raise BitstreamError(f"unsupported version {version}")
-    from dataclasses import replace
+def unpack_bitstream(data: bytes, arch: ArchParams | None = None,
+                     db: ChipDb | None = None) -> BitstreamConfig:
+    """Parse and CRC-check a DAGR bitstream back into a config.
+
+    Raises :class:`BitstreamError` with an actionable message on any
+    framing problem: wrong magic, unsupported version, implausible
+    header, length mismatch against the chip database, CRC failure.
+    """
+    if len(data) < len(MAGIC) or data[:len(MAGIC)] != MAGIC:
+        raise BitstreamError(
+            "not a DAGR bitstream (missing 'DAGR' magic; is this the "
+            "right file?)")
+    if len(data) < HEADER_BYTES + CRC_BYTES:
+        raise BitstreamError(
+            f"bitstream truncated inside the header: {len(data)} bytes "
+            f"is shorter than the {HEADER_BYTES}-byte header plus "
+            f"{CRC_BYTES}-byte CRC")
+    header = dict(zip(HEADER_FIELDS,
+                      data[len(MAGIC):HEADER_BYTES]))
+    if header["version"] != STREAM_VERSION:
+        raise BitstreamError(
+            f"unsupported bitstream version {header['version']} "
+            f"(this build reads version {STREAM_VERSION})")
+    for name in ("size", "channel_width", "n", "k", "inputs",
+                 "outputs", "io_rat"):
+        if header[name] < 1:
+            raise BitstreamError(
+                f"implausible header: {name}={header[name]} (must be "
+                f">= 1; header bytes are likely corrupt)")
+    if header["k"] > 8:
+        raise BitstreamError(
+            f"implausible header: k={header['k']} LUT inputs (this "
+            f"fabric family tops out at 8)")
+
     base = arch or ArchParams()
-    a = replace(base, channel_width=w, n=n, k=k, i=i,
-                outputs_per_clb=n_out, io_rat=io_rat)
+    a = replace(base, channel_width=header["channel_width"],
+                n=header["n"], k=header["k"], i=header["inputs"],
+                outputs_per_clb=header["outputs"],
+                io_rat=header["io_rat"])
+    if db is None:
+        try:
+            db = build_chipdb(a, header["size"])
+        except ChipDbError as exc:
+            raise BitstreamError(f"header describes no buildable "
+                                 f"fabric: {exc}") from None
+    else:
+        want = db.header_values()
+        got = dict(header)
+        if want != got:
+            raise BitstreamError(
+                f"bitstream header {got} does not match the supplied "
+                f"chip database {want}")
 
-    grid = FabricGrid(a, size)
-    cfg = BitstreamConfig(arch=a, size=size)
-    br = _BitReader(data[12:-4])
-    for x in range(1, size + 1):
-        for y in range(1, size + 1):
-            clb = _empty_clb(a)
-            for j in range(n):
-                clb.lut_bits[j] = [br.bit() for _ in range(1 << k)]
-                clb.use_ff[j] = br.bit()
-                clb.xbar_sel[j] = [br.bits(5) for _ in range(k)]
-                clb.ble_clk_en[j] = br.bit()
-            clb.clb_clk_en = br.bit()
-            clb.out_src = [br.bits(5) for _ in range(n_out)]
-            clb.cb_in = [[br.bit() for _ in range(w)] for _ in range(i)]
-            clb.cb_out = [[br.bit() for _ in range(w)]
-                          for _ in range(n_out)]
-            cfg.clbs[(x, y)] = clb
-    for cx in range(size + 1):
-        for cy in range(size + 1):
-            cfg.sbs[(cx, cy)] = SwitchBoxConfig(
-                [[br.bit() for _ in range(6)] for _ in range(w)])
-    for s in grid.io_sites():
-        cfg.ios.setdefault((s.x, s.y, s.sub), IoConfig(0, [0] * w))
-    for key in sorted(cfg.ios):
-        mode = br.bits(2)
-        cb = [br.bit() for _ in range(w)]
-        cfg.ios[key] = IoConfig(mode, cb)
+    expected = db.stream_bytes()
+    if len(data) != expected:
+        raise BitstreamError(
+            f"bitstream length mismatch: got {len(data)} bytes, the "
+            f"chip database for this header (size={db.size}, "
+            f"W={db.channel_width}) expects {expected} (stream "
+            f"truncated, spliced or header corrupt)")
+    crc_stored = int.from_bytes(data[-CRC_BYTES:], "little")
+    crc_actual = zlib.crc32(data[:-CRC_BYTES]) & 0xFFFFFFFF
+    if crc_actual != crc_stored:
+        raise BitstreamError(
+            f"CRC mismatch: stored 0x{crc_stored:08X}, computed "
+            f"0x{crc_actual:08X} (bitstream corrupted in transit)")
+
+    body = data[HEADER_BYTES:-CRC_BYTES]
+    cfg = BitstreamConfig(arch=a, size=db.size)
+    for t in db.tiles:
+        if t.kind == "clb":
+            m = db.clb_map
+            clb = _empty_clb(db)
+            for j in range(db.n):
+                clb.lut_bits[j] = _unmask(
+                    _read_field(body, t.base, m.lut[j]), 1 << db.k)
+                clb.use_ff[j] = _read_field(body, t.base, m.use_ff[j])
+                clb.xbar_sel[j] = [
+                    _read_field(body, t.base, m.xbar[j][pin])
+                    for pin in range(db.k)]
+                clb.ble_clk_en[j] = _read_field(body, t.base,
+                                                m.ble_clk_en[j])
+            clb.clb_clk_en = _read_field(body, t.base, m.clb_clk_en)
+            clb.out_src = [_read_field(body, t.base, f)
+                           for f in m.out_src]
+            clb.cb_in = [_unmask(_read_field(body, t.base, f),
+                                 db.channel_width) for f in m.cb_in]
+            clb.cb_out = [_unmask(_read_field(body, t.base, f),
+                                  db.channel_width) for f in m.cb_out]
+            cfg.clbs[(t.x, t.y)] = clb
+        elif t.kind == "sb":
+            cfg.sbs[(t.x, t.y)] = SwitchBoxConfig(
+                [_unmask(_read_field(body, t.base, f), len(PAIR_ORDER))
+                 for f in db.sb_map.pairs])
+        else:
+            cfg.ios[(t.x, t.y, t.sub)] = IoConfig(
+                _read_field(body, t.base, db.io_map.mode),
+                _unmask(_read_field(body, t.base, db.io_map.cb),
+                        db.channel_width))
     return cfg
 
 
 def generate_bitstream(mapped: LogicNetwork, cn: ClusteredNetlist,
                        placement: Placement, routing: RoutingResult,
-                       g: RRGraph, arch: ArchParams) -> bytes:
+                       g: RRGraph, arch: ArchParams,
+                       db: ChipDb | None = None) -> bytes:
     """DAGGER entry point: flow results -> bitstream bytes.
 
     The generated stream is decoded and compared against the source
     configuration before being returned (readback verification).
     """
-    cfg = generate_config(mapped, cn, placement, routing, g, arch)
-    data = pack_bitstream(cfg)
-    back = unpack_bitstream(data, arch)
+    if db is None:
+        db = build_chipdb(arch, placement.grid_size)
+    cfg = generate_config(mapped, cn, placement, routing, g, arch, db)
+    data = pack_bitstream(cfg, db)
+    back = unpack_bitstream(data, arch, db)
     if (back.clbs != cfg.clbs or back.sbs != cfg.sbs
             or back.ios != cfg.ios):
         raise BitstreamError("readback verification failed")

@@ -106,13 +106,22 @@ class JobSpec:
         return canonical_json({"kind": self.kind, "params": self.params})
 
     def key(self, code_version: str | None = None) -> str:
-        """SHA-256 cache key of spec + technology params + code version."""
+        """SHA-256 cache key of spec + technology params + code version.
+
+        The chipdb schema hash also joins the key: any revision of the
+        fabric's configuration layout (fuse maps, frame order, stream
+        framing) invalidates every cached experiment result, so results
+        computed under one chip database can never alias another's.
+        """
+        from ..bitgen.chipdb import chipdb_schema_hash
         if code_version is None:
             code_version = repro_code_version()
         h = hashlib.sha256()
         h.update(self.canonical_json().encode())
         h.update(b"\0")
         h.update(code_version.encode())
+        h.update(b"\0")
+        h.update(chipdb_schema_hash().encode())
         return h.hexdigest()
 
     def __str__(self) -> str:  # compact display for logs / errors

@@ -14,6 +14,8 @@ standalone program as well as part of a complete design framework":
     repro-flow flow      design.vhd --workdir out/ [--html gui.html]
     repro-flow exp       table1|table2|table3|fig8|fig9|fig10|tristate
                          [--jobs 4] [--no-cache] [-o rows.json]
+    repro-flow chipdb    dump|hash --size 6 [--arch fpga.arch] [-o db.json]
+    repro-flow disasm    design.bit [-o recovered.blif] [--json]
     repro-flow trace     run.jsonl     (render a recorded span tree)
     repro-flow stats     run.jsonl     (per-stage aggregate table)
     repro-flow history   [--metric flow.fmax_MHz]  (recorded runs)
@@ -201,6 +203,33 @@ def main(argv: list[str] | None = None) -> int:
     _add_cache_args(p)
     _add_trace_arg(p)
     _add_rundb_args(p)
+
+    p = sub.add_parser("chipdb", help="dump or hash the chip database "
+                                      "for an architecture + grid size")
+    p.add_argument("action", choices=["dump", "hash"],
+                   help="dump: canonical JSON document; hash: content "
+                        "hash plus schema hash")
+    p.add_argument("--size", type=int, required=True,
+                   help="logic grid side length (CLB columns/rows)")
+    p.add_argument("--arch", default=None,
+                   help="architecture file (default: built-in arch)")
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--channel-width", dest="channel_width", type=int,
+                   default=None)
+    p.add_argument("-o", "--output", default=None,
+                   help="dump: write the JSON here instead of stdout")
+
+    p = sub.add_parser("disasm", help="disassemble a bitstream back "
+                                      "into a netlist")
+    p.add_argument("input", help="bitstream file (DAGR format)")
+    p.add_argument("--arch", default=None,
+                   help="architecture file for non-header parameters "
+                        "(default: built-in arch)")
+    p.add_argument("-o", "--output", default=None, metavar="BLIF",
+                   help="write the recovered netlist as BLIF here")
+    p.add_argument("--json", dest="as_json", action="store_true",
+                   help="print recovery stats as JSON instead of text")
 
     p = sub.add_parser("cache", help="inspect or prune the experiment "
                                      "result cache")
@@ -403,6 +432,12 @@ def _dispatch(args, parser) -> int:
     if args.cmd == "exp":
         return _run_exp(args)
 
+    if args.cmd == "chipdb":
+        return _run_chipdb(args)
+
+    if args.cmd == "disasm":
+        return _run_disasm(args)
+
     if args.cmd == "cache":
         return _run_cache(args)
 
@@ -569,6 +604,66 @@ def _run_cache(args) -> int:
     removed, freed = cache.prune(max_age_s)
     print(f"pruned {removed} entries ({_human_bytes(freed)}) "
           f"from {cache.root}")
+    return 0
+
+
+def _run_chipdb(args) -> int:
+    """``repro-flow chipdb``: dump / hash the fabric's chip database."""
+    from ..bitgen.chipdb import (ChipDbError, build_chipdb,
+                                 chipdb_schema_hash)
+    arch = _arch_from_args(args)
+    try:
+        db = build_chipdb(arch, args.size)
+    except ChipDbError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "hash":
+        print(f"content: {db.content_hash()}")
+        print(f"schema:  {chipdb_schema_hash()}")
+        print(f"# size={db.size} W={db.channel_width} N={db.n} "
+              f"K={db.k} body_bits={db.body_bits} "
+              f"stream_bytes={db.stream_bytes()}", file=sys.stderr)
+        return 0
+    text = db.to_json()
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(db.tiles)} tiles, "
+              f"{db.body_bits} body bits)")
+    else:
+        print(text)
+    return 0
+
+
+def _run_disasm(args) -> int:
+    """``repro-flow disasm``: bitstream -> recovered netlist."""
+    from ..bitgen import BitstreamError, disassemble
+    from ..netlist.blif import write_blif
+    arch = (load_arch_file(args.arch) if args.arch else None)
+    try:
+        data = Path(args.input).read_bytes()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        d = disassemble(data, arch=arch)
+    except BitstreamError as exc:
+        obs.metrics.metric_set().counter("disasm.errors")
+        print(f"error: {args.input}: {exc}", file=sys.stderr)
+        return 2
+    ms = obs.metrics.metric_set()
+    stats = d.stats()
+    ms.gauge("disasm.bles", stats["bles"])
+    ms.gauge("disasm.nets", stats["nets"])
+    if args.output:
+        Path(args.output).write_text(write_blif(d.network))
+        print(f"wrote {args.output}")
+    if args.as_json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print(f"{args.input}: {stats['bles']} BLEs "
+              f"({stats['ffs']} registered), {stats['nets']} nets over "
+              f"{stats['track_segments']} track segments, "
+              f"{stats['inputs']} inputs, {stats['outputs']} outputs")
     return 0
 
 

@@ -34,6 +34,7 @@ from .. import impls, obs
 from ..arch import (ArchParams, DEFAULT_ARCH, build_rr_graph,
                     generate_arch_file)
 from ..bitgen import generate_bitstream
+from ..bitgen.chipdb import build_chipdb, chipdb_schema_hash
 from ..exp import (NullCache, ResultCache, canonical_json,
                    default_cache_dir, repro_code_version)
 from ..hdl.parser import check_syntax
@@ -165,7 +166,12 @@ class DesignFlow:
             f"{tag}\0{text}".encode()).hexdigest()
 
     def _stage_key(self, stage: str, extra: tuple) -> str:
-        """Content-addressed key: input lineage + options + code."""
+        """Content-addressed key: input lineage + options + code.
+
+        The chipdb schema hash joins every key so a fabric-layout
+        revision (new chipdb format, reordered fuse maps, ...) can
+        never alias a cached result produced under the old layout.
+        """
         h = hashlib.sha256()
         h.update(self._fp.encode())
         h.update(b"\0")
@@ -174,6 +180,8 @@ class DesignFlow:
         h.update(canonical_json(list(extra)).encode())
         h.update(b"\0")
         h.update(repro_code_version().encode())
+        h.update(b"\0")
+        h.update(chipdb_schema_hash().encode())
         return h.hexdigest()
 
     def _cached_stage(self, stage: str, extra: tuple, compute,
@@ -338,14 +346,24 @@ class DesignFlow:
 
     def program(self) -> bytes:
         """Stage 6: DAGGER bitstream generation (with readback check)."""
+        db = build_chipdb(self.options.arch,
+                          self.result.placement.grid_size)
+
         def run():
             return generate_bitstream(
                 self.result.mapped, self.result.clustered,
                 self.result.placement, self.result.routing,
-                self.result.rr_graph, self.options.arch)
+                self.result.rr_graph, self.options.arch, db=db)
+        # The concrete chipdb content hash keys the stage: two archs
+        # (or two chipdb builds) that lay out a single fuse differently
+        # can never share a cached bitstream.
         self.result.bitstream = self._cached_stage(
-            "bitstream", (), run, qor=lambda v: {"bytes": len(v)})
+            "bitstream", (db.content_hash(),), run,
+            qor=lambda v: {"bytes": len(v),
+                           "chipdb_bits": db.body_bits})
+        obs.metrics.metric_set().gauge("flow.chipdb_bits", db.body_bits)
         self._save("design.bit", self.result.bitstream)
+        self._save("chipdb.json", db.to_json())
         return self.result.bitstream
 
     def publish_metrics(self) -> None:

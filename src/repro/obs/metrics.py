@@ -446,6 +446,17 @@ for _spec in [
     MetricSpec("flow.bitstream_bytes", GAUGE, "B", "configuration "
                "bitstream size", direction="lower", rel_tol=0.0,
                gate=True),
+    MetricSpec("flow.chipdb_bits", GAUGE, "bits", "configuration body "
+               "bits in the chip database layout", direction="lower",
+               rel_tol=0.0, gate=True),
+    # -- bitstream disassembler ----------------------------------------
+    MetricSpec("disasm.bles", GAUGE, "BLEs", "active BLEs recovered "
+               "from a bitstream", direction="none", rel_tol=0.0),
+    MetricSpec("disasm.nets", GAUGE, "nets", "routed nets recovered "
+               "from a bitstream", direction="none", rel_tol=0.0),
+    MetricSpec("disasm.errors", COUNTER, "streams", "bitstreams "
+               "rejected by the disassembler as malformed or "
+               "inconsistent", direction="none"),
     # -- flow resources (history only, never gated: machine noise) -----
     MetricSpec("flow.seconds", DIST, "s", "wall time per flow stage",
                direction="lower"),

@@ -1,12 +1,14 @@
 """Tests for the DAGGER bitstream (generate / pack / unpack / verify)."""
 
+import random
+
 import pytest
 
 from repro.arch import DEFAULT_ARCH, build_rr_graph
 from repro.bench import counter, random_logic
-from repro.bitgen import (BitstreamError, generate_bitstream,
-                          generate_config, pack_bitstream,
-                          unpack_bitstream)
+from repro.bitgen import (BitstreamError, DisasmError, disassemble,
+                          generate_bitstream, generate_config,
+                          pack_bitstream, unpack_bitstream)
 from repro.bitgen.bitstream import XBAR_UNUSED
 from repro.pack import pack_netlist
 from repro.place import place
@@ -142,3 +144,185 @@ class TestPackUnpack:
         cfg = unpack_bitstream(data)
         # Stream length must be at least bits/8.
         assert len(data) * 8 >= cfg.config_bit_count()
+
+
+class TestFaultInjection:
+    """Corrupted streams must be rejected loudly, never mis-decoded.
+
+    Every fault below either fails framing (magic/header/length), the
+    CRC, or -- when the CRC is deliberately recomputed so the frame is
+    *valid but inconsistent* -- the disassembler's semantic checks.
+    """
+
+    @pytest.fixture(scope="class")
+    def stream(self, flow):
+        mapped, cn, pl, rr, g = flow
+        return generate_bitstream(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+
+    def test_every_single_bit_flip_is_detected(self, stream):
+        rng = random.Random(0xBAD)
+        for _ in range(64):
+            pos = rng.randrange(len(stream))
+            mut = bytearray(stream)
+            mut[pos] ^= 1 << rng.randrange(8)
+            with pytest.raises(BitstreamError) as exc:
+                unpack_bitstream(bytes(mut))
+            assert str(exc.value), "error message must not be empty"
+
+    def test_truncation_is_detected_at_every_prefix_class(self, stream):
+        for n in (0, 3, len(stream) // 4, len(stream) // 2,
+                  len(stream) - 5, len(stream) - 1):
+            with pytest.raises(BitstreamError):
+                unpack_bitstream(stream[:n])
+
+    def test_truncation_message_is_actionable(self, stream):
+        with pytest.raises(BitstreamError, match="truncated|length"):
+            unpack_bitstream(stream[:len(stream) - 7])
+
+    def test_crc_message_names_both_values(self, stream):
+        mut = bytearray(stream)
+        mut[len(mut) // 2] ^= 0xFF
+        with pytest.raises(BitstreamError, match="CRC"):
+            unpack_bitstream(bytes(mut))
+
+    def test_splice_of_two_streams_is_detected(self, stream):
+        # A different circuit's stream has a different length and CRC;
+        # head of one + tail of the other must never decode.
+        net = random_logic("splice", n_pi=4, n_po=3, n_nodes=16, seed=9)
+        mapped = optimize_and_map(net, 4).network
+        cn = pack_netlist(mapped)
+        pl = place(cn, DEFAULT_ARCH, seed=2)
+        g = build_rr_graph(DEFAULT_ARCH, pl.grid_size)
+        rr = route(pl, g)
+        assert rr.success
+        other = generate_bitstream(mapped, cn, pl, rr, g, DEFAULT_ARCH)
+        cut_a, cut_b = len(stream) // 3, len(other) // 3
+        with pytest.raises(BitstreamError):
+            unpack_bitstream(stream[:cut_a] + other[cut_b:])
+
+    def test_inserted_bytes_are_detected(self, stream):
+        mid = len(stream) // 2
+        with pytest.raises(BitstreamError, match="length|truncated"):
+            unpack_bitstream(stream[:mid] + b"\x00\xff" + stream[mid:])
+
+    def test_wrong_version_is_rejected_with_version(self, stream):
+        mut = bytearray(stream)
+        mut[4] = 0x7F                     # version byte after magic
+        with pytest.raises(BitstreamError, match="version"):
+            unpack_bitstream(bytes(mut))
+
+    # -- valid CRC, inconsistent bits: the disassembler's territory ----
+
+    def _repacked(self, stream, mutate):
+        """Unpack, apply ``mutate(cfg)``, repack with a fresh CRC."""
+        cfg = unpack_bitstream(stream)
+        mutate(cfg)
+        return pack_bitstream(cfg)
+
+    def _some_active(self, cfg):
+        for key in sorted(cfg.clbs):
+            clb = cfg.clbs[key]
+            for j, sels in enumerate(clb.xbar_sel):
+                if any(s != XBAR_UNUSED for s in sels):
+                    return key, clb, j
+        raise AssertionError("fixture stream has no active BLE")
+
+    def test_clock_enable_contradiction_is_rejected(self, stream):
+        def mutate(cfg):
+            key, clb, j = self._some_active(cfg)
+            clb.ble_clk_en[j] = 1 - clb.use_ff[j]
+        with pytest.raises(DisasmError, match="clock enable"):
+            disassemble(self._repacked(stream, mutate))
+
+    def test_illegal_io_mode_is_rejected(self, stream):
+        def mutate(cfg):
+            key = sorted(cfg.ios)[0]
+            cfg.ios[key].mode = 3
+        with pytest.raises(DisasmError, match="mode"):
+            disassemble(self._repacked(stream, mutate))
+
+    def test_out_of_range_select_is_rejected(self, stream):
+        hi = DEFAULT_ARCH.inputs_per_clb + DEFAULT_ARCH.n
+
+        def mutate(cfg):
+            key, clb, j = self._some_active(cfg)
+            pin = next(p for p, s in enumerate(clb.xbar_sel[j])
+                       if s != XBAR_UNUSED)
+            clb.xbar_sel[j][pin] = hi      # one past the last BLE
+        with pytest.raises(DisasmError, match="out of range"):
+            disassemble(self._repacked(stream, mutate))
+
+    def test_orphaned_output_pin_is_rejected(self, stream):
+        def mutate(cfg):
+            for key in sorted(cfg.clbs):
+                clb = cfg.clbs[key]
+                for p, row in enumerate(clb.cb_out):
+                    if any(row):
+                        clb.out_src[p] = XBAR_UNUSED
+                        return
+            raise AssertionError("no driven output pin in fixture")
+        with pytest.raises(DisasmError, match="no BLE"):
+            disassemble(self._repacked(stream, mutate))
+
+    def test_shorted_nets_are_rejected(self, stream):
+        def mutate(cfg):
+            # Make a second driver listen on a track the first claims:
+            # copy one driven cb_out row onto another output pin of a
+            # different CLB sharing the channel layout.
+            driven = [(key, p, row) for key in sorted(cfg.clbs)
+                      for p, row in enumerate(cfg.clbs[key].cb_out)
+                      if any(row)]
+            (k1, p1, row1) = driven[0]
+            for k2, p2, row2 in driven[1:]:
+                if k2 != k1 and p2 % 4 == p1 % 4 and \
+                        cfg.clbs[k2].out_src[p2] != XBAR_UNUSED and \
+                        k2[0] == k1[0] and abs(k2[1] - k1[1]) <= 1:
+                    cfg.clbs[k2].cb_out[p2] = list(row1)
+                    return
+            # Fallback: same CLB, duplicate the row onto a second pin
+            # with the same channel (pin + 4).
+            clb = cfg.clbs[k1]
+            p2 = p1 + 4
+            if p2 < len(clb.cb_out):
+                clb.out_src[p2] = clb.out_src[p1]
+                clb.cb_out[p2] = list(row1)
+        data = self._repacked(stream, mutate)
+        with pytest.raises(DisasmError):
+            disassemble(data)
+
+    def test_input_pad_without_cb_bits_is_rejected(self, stream):
+        def mutate(cfg):
+            key = next(k for k in sorted(cfg.ios)
+                       if cfg.ios[k].mode == 1)
+            cfg.ios[key].cb = [0] * len(cfg.ios[key].cb)
+        with pytest.raises(DisasmError, match="connection-box"):
+            disassemble(self._repacked(stream, mutate))
+
+    def test_undriven_output_pad_is_rejected(self, stream):
+        def mutate(cfg):
+            key = next(k for k in sorted(cfg.ios)
+                       if cfg.ios[k].mode == 2)
+            cfg.ios[key].cb = [0] * len(cfg.ios[key].cb)
+        with pytest.raises(DisasmError):
+            disassemble(self._repacked(stream, mutate))
+
+    def test_severed_input_pin_is_rejected(self, stream):
+        # Clear the connection-box row of a routed CLB input pin: the
+        # BLE still selects it (undriven pin) or its net loses its
+        # only sink -- either way the stream is inconsistent.
+        def mutate(cfg):
+            for key in sorted(cfg.clbs):
+                clb = cfg.clbs[key]
+                for p, row in enumerate(clb.cb_in):
+                    if any(row):
+                        clb.cb_in[p] = [0] * len(row)
+                        return
+            raise AssertionError("no routed CLB input in fixture")
+        with pytest.raises(DisasmError):
+            disassemble(self._repacked(stream, mutate))
+
+    def test_valid_stream_still_disassembles(self, stream, flow):
+        """The fault harness must not reject the clean stream."""
+        mapped, cn, pl, rr, g = flow
+        dis = disassemble(stream)
+        assert dis.stats()["bles"] > 0

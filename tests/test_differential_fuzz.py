@@ -2,12 +2,20 @@
 
 Each case seeds a random multi-level logic network, pushes it through
 the *entire* flow -- technology mapping, packing, placement, routing,
-bitstream generation -- then boots the device simulator from nothing
-but the unpacked bitstream and compares its cycle-by-cycle outputs
-against a logic-level simulation of the ORIGINAL source network.  Any
-divergence pins a bug somewhere between synthesis and configuration
-decode, which is exactly the class of bug unit tests on individual
-stages cannot see.
+bitstream generation -- then checks THREE independent oracles against
+a logic-level simulation of the ORIGINAL source network:
+
+1. the device simulator booted from nothing but the unpacked
+   bitstream (interprets the configuration cycle by cycle);
+2. the disassembler's recovered netlist, simulated at logic level
+   (lifts the configuration back to a LogicNetwork first);
+3. byte-exact ``unpack -> repack`` of the bitstream itself.
+
+Any divergence pins a bug somewhere between synthesis and
+configuration decode, which is exactly the class of bug unit tests on
+individual stages cannot see -- and the two decoders are independent
+implementations, so a shared-misreading escape needs the same bug
+twice.
 
 The sweep is marked ``slow`` (~20 flows); the fast suite runs a
 two-seed smoke version of the same oracle.
@@ -19,7 +27,7 @@ import pytest
 
 from repro.arch import ArchParams
 from repro.bench import random_logic
-from repro.bitgen import unpack_bitstream
+from repro.bitgen import disassemble, pack_bitstream, unpack_bitstream
 from repro.bitgen.devicesim import (DeviceSimulator,
                                     pad_map_from_placement)
 from repro.flow.flow import FlowOptions, run_flow_from_logic
@@ -47,7 +55,7 @@ def _run_case(seed: int) -> None:
                          use_cache=False))
     assert res.routing is not None and res.routing.success
 
-    # Boot the device from the bitstream alone.
+    # Oracle 1: boot the device from the bitstream alone.
     cfg = unpack_bitstream(res.bitstream, res.placement.arch)
     dev = DeviceSimulator(cfg, pad_map_from_placement(res.placement))
 
@@ -60,6 +68,19 @@ def _run_case(seed: int) -> None:
         f"device diverges from source network for seed {seed} "
         f"({params}): first mismatch at cycle "
         f"{next(i for i, (g, w) in enumerate(zip(got, want)) if g != w)}")
+
+    # Oracle 2: disassemble the bitstream to a netlist and simulate it.
+    dis = disassemble(res.bitstream, res.placement.arch,
+                      pad_map=pad_map_from_placement(res.placement))
+    recovered = dis.network.simulate(vecs)
+    assert recovered == want, (
+        f"disassembled netlist diverges from source network for seed "
+        f"{seed} ({params}): first mismatch at cycle "
+        f"{next(i for i, (g, w) in enumerate(zip(recovered, want)) if g != w)}")
+
+    # Oracle 3: unpack -> repack must be byte-for-byte lossless.
+    assert pack_bitstream(cfg) == res.bitstream, (
+        f"unpack->repack is not byte-identical for seed {seed}")
 
 
 def test_differential_smoke():
