@@ -14,15 +14,25 @@ This bench runs the same uncached flow repeatedly with observability
 enabled and disabled, alternating which arm goes first so clock/cache
 drift cancels, and compares the per-arm minima (the standard low-noise
 estimator: the minimum is the run least disturbed by the machine).
+
+The same budget applies to the live telemetry bus (``repro.obs.live``):
+a persistent-pool sweep with worker heartbeat/span/metric streaming and
+the parent hub enabled must stay within 5% of the identical sweep with
+``REPRO_TELEMETRY`` unset.
 """
 
+import os
 import time
 
 from conftest import save_results
 from repro import obs
 from repro.bench import mcnc_class_suite
+from repro.exp.jobspec import JobSpec
+from repro.exp.pool import shutdown_pools
+from repro.exp.runner import ParallelRunner
 from repro.flow import FlowOptions
 from repro.flow.flow import run_flow_from_logic
+from repro.obs import live
 
 ROUNDS = 7
 MAX_OVERHEAD = 1.05
@@ -70,4 +80,54 @@ def test_trace_overhead_under_five_percent():
           f"ratio        {ratio:.3f}")
     assert ratio < MAX_OVERHEAD, (
         f"tracing overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"{100 * (MAX_OVERHEAD - 1):.0f}% budget")
+
+
+def test_live_streaming_overhead_under_five_percent(tmp_path):
+    # A persistent-pool sweep of compute-bound selftest jobs, sized so
+    # each arm takes a second or two.  Enablement is re-resolved per
+    # dispatched chunk from the forwarded environment, so one warm pool
+    # serves both arms and worker start-up cost cancels out.
+    specs = [JobSpec(kind="selftest",
+                     params={"x": float(i), "array_len": 1_500_000})
+             for i in range(60)]
+    runner = ParallelRunner(jobs=4, use_cache=False, pool="persistent")
+
+    def timed(enabled: bool) -> float:
+        if enabled:
+            os.environ[live.ENV_TELEMETRY] = str(tmp_path / "live")
+        else:
+            os.environ.pop(live.ENV_TELEMETRY, None)
+        t0 = time.perf_counter()
+        results = runner.run(specs)
+        seconds = time.perf_counter() - t0
+        assert all(r.ok for r in results)
+        return seconds
+
+    streaming, quiet = [], []
+    try:
+        timed(True)       # warm the pool, hub and emitter threads
+        timed(False)
+        for i in range(ROUNDS):
+            first_enabled = i % 2 == 0
+            for enabled in (first_enabled, not first_enabled):
+                (streaming if enabled else quiet).append(timed(enabled))
+        # The streaming arm really streamed: its session snapshot saw
+        # every job of the last enabled batch.
+        snap = live.load_sessions(tmp_path / "live")[0]
+        assert snap["batch"]["completed"] == len(specs)
+    finally:
+        os.environ.pop(live.ENV_TELEMETRY, None)
+        live.shutdown()
+        shutdown_pools()
+
+    ratio = min(streaming) / min(quiet)
+    save_results("live_streaming_overhead", {
+        "streaming_s": streaming, "quiet_s": quiet,
+        "min_ratio": round(ratio, 4)})
+    print(f"\nstreaming min {min(streaming):.3f}s\n"
+          f"quiet min     {min(quiet):.3f}s\n"
+          f"ratio         {ratio:.3f}")
+    assert ratio < MAX_OVERHEAD, (
+        f"live streaming overhead {100 * (ratio - 1):.1f}% exceeds "
         f"{100 * (MAX_OVERHEAD - 1):.0f}% budget")

@@ -237,7 +237,7 @@ def decode_value(value: Any) -> tuple[Any, int]:
 # Worker side
 # ---------------------------------------------------------------------------
 
-def _pool_worker_main(conn) -> None:
+def _pool_worker_main(conn, telem=None) -> None:
     """Long-lived worker loop: pull job chunks, stream results back.
 
     Protocol (all tuples, first element is the op):
@@ -250,8 +250,18 @@ def _pool_worker_main(conn) -> None:
     ``t_recv`` is ``time.monotonic()`` at chunk receipt -- the monotonic
     clock is system-wide on the platforms we support, so the parent can
     subtract its send timestamp to measure dispatch latency.
+
+    ``telem`` is the pool's out-of-band telemetry queue.  Whether it is
+    *used* re-resolves per chunk from the forwarded environment
+    (``REPRO_TELEMETRY`` rides :class:`_WorkerSettings`), because a
+    persistent worker outlives many batches: a
+    :class:`~repro.obs.live.TelemetryEmitter` streams heartbeats, span
+    events and metric deltas while enabled and is torn down again the
+    first chunk after the parent turns telemetry off.
     """
+    from ..obs import live as live_mod
     from .runner import JobError, _execute_spec
+    emitter = None
     try:
         while True:
             try:
@@ -268,11 +278,23 @@ def _pool_worker_main(conn) -> None:
                 break
             if settings is not None:
                 settings.apply()
+            if telem is not None:
+                if live_mod.enabled() and emitter is None:
+                    emitter = live_mod.TelemetryEmitter(telem)
+                    emitter.start()
+                elif not live_mod.enabled() and emitter is not None:
+                    emitter.stop()
+                    emitter = None
             for spec in specs:
                 tr = obs.Tracer()
                 ms = obs.MetricSet()
+                if emitter is not None:
+                    emitter.job_started(live_mod.job_id(spec),
+                                        spec.kind, ms)
                 with obs.capture(tr), obs.metrics.collect(ms):
                     value, seconds, err = _execute_spec(spec)
+                if emitter is not None:
+                    emitter.job_finished()
                 names: list[str] = []
                 shm_bytes = 0
                 if err is None:
@@ -297,6 +319,8 @@ def _pool_worker_main(conn) -> None:
     except KeyboardInterrupt:
         pass
     finally:
+        if emitter is not None:
+            emitter.stop()
         try:
             conn.close()
         except Exception:
@@ -339,6 +363,13 @@ class PersistentPool:
         self.ctx = ctx
         self.closed = False
         self.spawned = 0
+        #: Out-of-band worker->parent telemetry queue, handed to every
+        #: worker at spawn.  Creating it is a pipe pair + locks (the
+        #: feeder thread only starts on first ``put``), so it exists
+        #: unconditionally; workers write to it only while the live
+        #: telemetry bus is enabled (:mod:`repro.obs.live`), and the
+        #: parent's hub drains it only when attached.
+        self.telemetry = ctx.Queue()
         self.workers: list[_PoolWorker] = [self._spawn()
                                            for _ in range(workers)]
 
@@ -346,7 +377,8 @@ class PersistentPool:
         global _spawn_total
         parent_conn, child_conn = self.ctx.Pipe(duplex=True)
         proc = self.ctx.Process(target=_pool_worker_main,
-                                args=(child_conn,), daemon=True)
+                                args=(child_conn, self.telemetry),
+                                daemon=True)
         proc.start()
         child_conn.close()
         self.spawned += 1
@@ -397,6 +429,10 @@ class PersistentPool:
         for worker in self.workers:
             self._stop(worker)
         self.workers = []
+        try:
+            self.telemetry.close()
+        except Exception:
+            pass
         self.closed = True
 
 

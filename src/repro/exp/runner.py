@@ -175,7 +175,8 @@ class _WorkerSettings:
     env: dict[str, str] | None = None
 
     #: Environment knobs snapshotted into every worker.
-    FORWARDED = (obs.ENV_TRACE, obs.ENV_RUN_DB, "REPRO_CACHE_DIR")
+    FORWARDED = (obs.ENV_TRACE, obs.ENV_RUN_DB, "REPRO_CACHE_DIR",
+                 obs.live.ENV_TELEMETRY, obs.live.ENV_HB_INTERVAL)
 
     @classmethod
     def snapshot(cls) -> "_WorkerSettings":
@@ -340,17 +341,27 @@ class ParallelRunner:
                 else:
                     pending.append(i)
 
-            if pending:
-                inline = (self.jobs == 1
-                          and all(self._timeout_for(specs[i]) is None
-                                  for i in pending))
-                if inline:
-                    for i in pending:
-                        results[i] = self._run_inline(specs[i], keys[i])
-                elif self.pool == POOL_PER_JOB:
-                    self._run_pool(specs, keys, results, pending)
-                else:
-                    self._run_persistent(specs, keys, results, pending)
+            hub = obs.live.session_hub()
+            if hub is not None:
+                hub.batch_started(len(specs), workers=self.jobs,
+                                  cached=len(specs) - len(pending))
+            try:
+                if pending:
+                    inline = (self.jobs == 1
+                              and all(self._timeout_for(specs[i]) is None
+                                      for i in pending))
+                    if inline:
+                        for i in pending:
+                            results[i] = self._run_inline(specs[i],
+                                                          keys[i])
+                    elif self.pool == POOL_PER_JOB:
+                        self._run_pool(specs, keys, results, pending)
+                    else:
+                        self._run_persistent(specs, keys, results,
+                                             pending)
+            finally:
+                if hub is not None:
+                    hub.batch_finished()
 
             bsp.set_attr(
                 cache_hits=len(specs) - len(pending),
@@ -387,6 +398,7 @@ class ParallelRunner:
 
     # -- inline path (serial, no timeouts) ------------------------------
     def _run_inline(self, spec: JobSpec, key: str) -> JobResult:
+        hub = obs.live.session_hub()
         attempt = 0
         while True:
             attempt += 1
@@ -396,11 +408,15 @@ class ParallelRunner:
                 sp.set_attr(outcome="ok" if err is None else err.kind)
             if err is None or attempt > spec.retries:
                 break
+            if hub is not None:
+                hub.job_retried(spec.kind)
             backoff = self._backoff(attempt)
             obs.metrics.metric_set().dist("exp.retry_wait_s", backoff)
             time.sleep(backoff)
         if err is None:
             self.cache.put(key, value)
+        if hub is not None:
+            hub.job_finished(spec.kind, err is None, seconds)
         return JobResult(spec=spec, key=key, value=value,
                          seconds=seconds, error=err, attempts=attempt)
 
@@ -412,6 +428,7 @@ class ParallelRunner:
         from multiprocessing.connection import wait as conn_wait
 
         ctx = mp.get_context(self.start_method)
+        hub = obs.live.session_hub()
         settings = _WorkerSettings.snapshot()
         queue: deque[_Pending] = deque(
             _Pending(i, 1, 0.0) for i in pending_idx)
@@ -439,6 +456,8 @@ class ParallelRunner:
             if err is not None and attempt <= spec.retries:
                 obs.emit("exp.job", seconds=seconds, kind=spec.kind,
                          attempt=attempt, outcome=f"retry:{err.kind}")
+                if hub is not None:
+                    hub.job_retried(spec.kind)
                 backoff = self._backoff(attempt)
                 obs.metrics.metric_set().dist("exp.retry_wait_s",
                                               backoff)
@@ -448,6 +467,8 @@ class ParallelRunner:
             results[index] = JobResult(
                 spec=spec, key=keys[index], value=value,
                 seconds=seconds, error=err, attempts=attempt)
+            if hub is not None:
+                hub.job_finished(spec.kind, err is None, seconds)
             job_id = obs.emit(
                 "exp.job", seconds=seconds, kind=spec.kind,
                 attempt=attempt,
@@ -503,6 +524,8 @@ class ParallelRunner:
 
         try:
             while queue or active:
+                if hub is not None:
+                    hub.progress(len(queue), len(active))
                 now = time.monotonic()
                 if len(active) < self.jobs and queue:
                     ready = [p for p in queue if p.ready_at <= now]
@@ -574,6 +597,10 @@ class ParallelRunner:
             _Pending(i, 1, 0.0) for i in pending_idx)
         chunk_target = self._chunk_target(len(pending_idx))
         ms.gauge("exp.pool.workers", len(pl.workers))
+        hub = obs.live.session_hub()
+        stalled_prev: list[int] | None = None
+        if hub is not None:
+            hub.attach(pl.telemetry)
 
         def finalize(item: _Pending, value: Any, seconds: float,
                      err: JobError | None, spans: list | None = None,
@@ -583,6 +610,8 @@ class ParallelRunner:
                 obs.emit("exp.job", seconds=seconds, kind=spec.kind,
                          attempt=item.attempt,
                          outcome=f"retry:{err.kind}")
+                if hub is not None:
+                    hub.job_retried(spec.kind)
                 backoff = self._backoff(item.attempt)
                 ms.dist("exp.retry_wait_s", backoff)
                 queue.append(_Pending(item.index, item.attempt + 1,
@@ -591,6 +620,8 @@ class ParallelRunner:
             results[item.index] = JobResult(
                 spec=spec, key=keys[item.index], value=value,
                 seconds=seconds, error=err, attempts=item.attempt)
+            if hub is not None:
+                hub.job_finished(spec.kind, err is None, seconds)
             job_id = obs.emit(
                 "exp.job", seconds=seconds, kind=spec.kind,
                 attempt=item.attempt,
@@ -624,12 +655,16 @@ class ParallelRunner:
                     kind="crash")
             finalize(head, None, elapsed, err)
             pl.replace(w)
+            if hub is not None:
+                hub.forget_worker(w.proc.pid)
 
         def on_broken(w) -> None:
             if w.inflight:
                 fail_head(w, "crash")
             else:
                 pl.replace(w)
+                if hub is not None:
+                    hub.forget_worker(w.proc.pid)
 
         def on_message(w, msg) -> None:
             if msg[0] == "ack":
@@ -695,6 +730,12 @@ class ParallelRunner:
                     w.job_started_at = now
                     ms.dist("exp.pool.chunk_size", len(take))
             busy = [w for w in pl.workers if w.inflight]
+            if hub is not None:
+                # Queue depth counts undispatched jobs plus the tail of
+                # each worker's chunk (only the chunk head executes).
+                hub.progress(
+                    len(queue) + sum(len(w.inflight) - 1 for w in busy),
+                    len(busy))
             if not busy:
                 if not queue:
                     break
@@ -709,6 +750,12 @@ class ParallelRunner:
             waits += [p.ready_at - now for p in queue
                       if p.ready_at > now]
             timeout = max(0.0, min(waits)) if waits else None
+            if hub is not None:
+                # Wake at heartbeat granularity so a hung worker is
+                # noticed (and the stalled gauge raised) well before
+                # any job timeout fires -- or when there is none.
+                cap = 2.0 * hub.hb_interval_s
+                timeout = cap if timeout is None else min(timeout, cap)
             ready_conns = conn_wait([w.conn for w in busy], timeout)
             for w in busy:
                 if w.conn not in ready_conns:
@@ -734,6 +781,11 @@ class ParallelRunner:
                 d = deadline(w)
                 if d is not None and d <= now:
                     fail_head(w, "timeout")
+            if hub is not None:
+                stalled = hub.stalled_pids()
+                if stalled != stalled_prev:
+                    ms.gauge("exp.pool.stalled", len(stalled))
+                    stalled_prev = stalled
 
         for w in pl.workers:
             if w.served:

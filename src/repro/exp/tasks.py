@@ -62,7 +62,7 @@ def execute(spec: JobSpec) -> Any:
 
 @task("selftest")
 def _selftest(x: float = 1.0, fail: bool = False,
-              array_len: int = 0):
+              array_len: int = 0, sleep_s: float = 0.0):
     """Built-in probe: doubles ``x`` inside a traced, metered span.
 
     Registered here (not in a test module) so it exists in ``spawn``
@@ -74,12 +74,18 @@ def _selftest(x: float = 1.0, fail: bool = False,
     With ``array_len > 0`` the result is a float64 array of that length
     (scaled by ``x``) instead of a scalar, giving engine tests a
     deterministic large payload to push through the pool's
-    shared-memory transport.
+    shared-memory transport.  ``sleep_s`` pads the job's wall time --
+    live-telemetry tests and the CI smoke sweep use it to keep jobs
+    observably in flight (sleeping keeps heartbeats coming, so it
+    models a *slow* job, never a hung worker).
     """
+    import time
     from .. import obs
     with obs.span("selftest.work", x=x):
         if fail:
             raise RuntimeError("selftest asked to fail")
+        if sleep_s > 0:
+            time.sleep(sleep_s)
         obs.metrics.metric_set().counter("exp.selftest")
         if array_len:
             import numpy as np

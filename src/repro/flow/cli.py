@@ -16,8 +16,10 @@ standalone program as well as part of a complete design framework":
                          [--jobs 4] [--no-cache] [-o rows.json]
     repro-flow chipdb    dump|hash --size 6 [--arch fpga.arch] [-o db.json]
     repro-flow disasm    design.bit [-o recovered.blif] [--json]
-    repro-flow trace     run.jsonl     (render a recorded span tree)
+    repro-flow trace     run.jsonl [--format chrome -o run.json]
     repro-flow stats     run.jsonl     (per-stage aggregate table)
+    repro-flow top       [--once] [--json]   (live view of a sweep)
+    repro-flow serve-metrics [--port 9464]   (Prometheus endpoint)
     repro-flow history   [--metric flow.fmax_MHz]  (recorded runs)
     repro-flow compare   [RUN_A RUN_B | --against-golden]
     repro-flow report    [--html qor.html]  (sparkline dashboard)
@@ -31,7 +33,14 @@ cache.  ``--no-cache`` forces recomputation, ``--cache-dir`` (or
 ``vpr``/``flow``/``exp`` also accept ``--trace run.jsonl`` (default
 from ``REPRO_TRACE``): the run records a span per stage/job -- wall
 time, cache hit/miss, QoR numbers -- which ``trace`` and ``stats``
-render afterwards.
+render afterwards (``trace --format chrome`` converts to Chrome
+trace-event JSON for https://ui.perfetto.dev).
+
+With ``--live`` (or ``REPRO_TELEMETRY=1``) the same three commands
+publish the live telemetry bus (:mod:`repro.obs.live`) while they run:
+``repro-flow top`` in another terminal shows queue depth, per-worker
+jobs/ages and throughput of the in-flight sweep, and ``repro-flow
+serve-metrics`` exposes it as a Prometheus scrape endpoint.
 
 The same three commands append every successful run's full metric set
 to the run DB (``--run-db``, ``$REPRO_RUN_DB`` or
@@ -82,6 +91,13 @@ def _add_trace_arg(p) -> None:
                    help="record a span trace of the run here (default "
                         "$REPRO_TRACE; inspect with 'repro-flow trace' "
                         "/ 'stats')")
+
+
+def _add_live_arg(p) -> None:
+    p.add_argument("--live", action="store_true",
+                   help="publish live telemetry while running (same as "
+                        "REPRO_TELEMETRY=1); observe with 'repro-flow "
+                        "top' / 'serve-metrics' from another terminal")
 
 
 def _add_rundb_path_arg(p) -> None:
@@ -167,6 +183,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--min-channel-width", action="store_true")
     _add_cache_args(p)
     _add_trace_arg(p)
+    _add_live_arg(p)
     _add_rundb_args(p)
 
     p = sub.add_parser("flow", help="run the complete VHDL-to-bitstream "
@@ -179,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="write the GUI page here")
     _add_cache_args(p)
     _add_trace_arg(p)
+    _add_live_arg(p)
     _add_rundb_args(p)
 
     p = sub.add_parser("exp", help="run a batch experiment (table or "
@@ -202,6 +220,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="write the result rows as JSON here")
     _add_cache_args(p)
     _add_trace_arg(p)
+    _add_live_arg(p)
     _add_rundb_args(p)
 
     p = sub.add_parser("chipdb", help="dump or hash the chip database "
@@ -245,12 +264,52 @@ def main(argv: list[str] | None = None) -> int:
                         "(default: all)")
 
     p = sub.add_parser("trace", help="render a recorded trace as a "
-                                     "span tree")
+                                     "span tree, or convert it")
     p.add_argument("input", help="JSONL trace written by --trace")
+    p.add_argument("--format", dest="format",
+                   choices=["tree", "chrome"], default="tree",
+                   help="tree: terminal span tree (default); chrome: "
+                        "Chrome trace-event JSON, loadable in "
+                        "ui.perfetto.dev / chrome://tracing")
+    p.add_argument("-o", "--output", default=None,
+                   help="chrome format: output file (default "
+                        "INPUT with a .chrome.json suffix)")
 
     p = sub.add_parser("stats", help="per-stage aggregate table of a "
                                      "recorded trace")
     p.add_argument("input", help="JSONL trace written by --trace")
+
+    p = sub.add_parser("top", help="live view of an in-flight sweep "
+                                   "(run it with --live)")
+    p.add_argument("--dir", default=None,
+                   help="live snapshot directory (default: the "
+                        "REPRO_TELEMETRY path, else ~/.cache/repro/"
+                        "live)")
+    p.add_argument("--pid", type=int, default=None,
+                   help="observe this session pid (default: the most "
+                        "recently updated session)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit")
+    p.add_argument("--json", dest="as_json", action="store_true",
+                   help="machine-readable snapshot JSON instead of "
+                        "the terminal view")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="refresh period in seconds (default 1.0)")
+
+    p = sub.add_parser("serve-metrics",
+                       help="HTTP endpoint serving the live session "
+                            "in Prometheus text exposition format")
+    p.add_argument("--dir", default=None,
+                   help="live snapshot directory (default: the "
+                        "REPRO_TELEMETRY path, else ~/.cache/repro/"
+                        "live)")
+    p.add_argument("--addr", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=9464,
+                   help="bind port (default 9464; 0 = ephemeral)")
+    p.add_argument("--once", action="store_true",
+                   help="print one exposition to stdout and exit "
+                        "instead of serving")
 
     p = sub.add_parser("history", help="list recorded runs with key "
                                        "QoR, or one metric's trend")
@@ -303,6 +362,11 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
 
+    if getattr(args, "live", False) and not obs.live.enabled():
+        # Same switch the environment flips; a REPRO_TELEMETRY dir
+        # already in force keeps its custom location.
+        os.environ[obs.live.ENV_TELEMETRY] = "1"
+
     trace_path = (getattr(args, "trace", None)
                   or os.environ.get(obs.ENV_TRACE))
     record = (args.cmd in ("vpr", "flow", "exp")
@@ -343,10 +407,23 @@ def _dispatch(args, parser) -> int:
                   f"(was the run traced with --trace/$REPRO_TRACE?)",
                   file=sys.stderr)
             return 2
+        if args.cmd == "trace" and args.format == "chrome":
+            out = args.output or str(
+                Path(args.input).with_suffix(".chrome.json"))
+            n = obs.write_chrome_trace(records, out)
+            print(f"wrote {n} trace events to {out} (open in "
+                  f"ui.perfetto.dev or chrome://tracing)")
+            return 0
         render = obs.render_tree if args.cmd == "trace" \
             else obs.render_stats
         print(render(records))
         return 0
+
+    if args.cmd == "top":
+        return _run_top(args)
+
+    if args.cmd == "serve-metrics":
+        return _run_serve_metrics(args)
 
     if args.cmd == "history":
         return _run_history(args)
@@ -443,6 +520,78 @@ def _dispatch(args, parser) -> int:
 
     parser.error(f"unknown command {args.cmd!r}")
     return 2
+
+
+def _pick_session(directory, pid):
+    """Freshest live snapshot (optionally a specific session pid)."""
+    from ..obs import live
+    sessions = live.load_sessions(directory)
+    if pid is not None:
+        sessions = [s for s in sessions if s.get("pid") == pid]
+    return sessions[0] if sessions else None
+
+
+def _run_top(args) -> int:
+    """``repro-flow top``: live terminal view of an in-flight sweep."""
+    from ..obs import live
+    directory = args.dir or None
+    snap = _pick_session(directory, args.pid)
+    if snap is None and args.once:
+        where = Path(args.dir) if args.dir else live.live_dir()
+        print(f"error: no live sessions under {where} (start a sweep "
+              f"with --live or REPRO_TELEMETRY=1)", file=sys.stderr)
+        return 2
+    if args.once:
+        if args.as_json:
+            print(json.dumps(snap, indent=2, sort_keys=True))
+        else:
+            print(live.render_top(snap))
+        return 0
+    import time as _time
+    try:
+        while True:
+            snap = _pick_session(directory, args.pid)
+            if snap is None:
+                body = "repro-flow top -- waiting for a live session..."
+            elif args.as_json:
+                body = json.dumps(snap, sort_keys=True)
+            else:
+                body = live.render_top(snap)
+            if args.as_json:
+                print(body, flush=True)
+            else:
+                # Home + clear-to-end keeps the refresh flicker-free.
+                sys.stdout.write(f"\x1b[H\x1b[J{body}\n")
+                sys.stdout.flush()
+            _time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _run_serve_metrics(args) -> int:
+    """``repro-flow serve-metrics``: Prometheus scrape endpoint."""
+    from ..obs import live
+    directory = args.dir or None
+    if args.once:
+        sys.stdout.write(live.latest_exposition(directory))
+        return 0
+    try:
+        server = live.serve_metrics(directory, addr=args.addr,
+                                    port=args.port)
+    except OSError as exc:
+        print(f"error: cannot bind {args.addr}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"# serving Prometheus metrics on http://{host}:{port}"
+          f"/metrics (Ctrl-C to stop)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
 
 
 #: Metric columns of the ``history`` run table.

@@ -46,12 +46,15 @@ without flags; :func:`set_enabled` turns the span layer off entirely
 (spans become shared no-ops).
 """
 
-from . import compare as compare_mod
-from . import dashboard, metrics, rundb
+from . import chrometrace, compare as compare_mod
+from . import dashboard, live, metrics, rundb
+from .chrometrace import chrome_trace_events, write_chrome_trace
 from .compare import (MetricDelta, compare_rows, default_golden_path,
                       gated_regressions, golden_flow_rows,
                       render_compare)
 from .dashboard import render_report
+from .live import (ENV_TELEMETRY, TelemetryEmitter, TelemetryHub,
+                   session_hub)
 from .metrics import (MetricRegistry, MetricSet, MetricSpec, REGISTRY,
                       profiled)
 from .report import (TraceReadError, aggregate, build_tree,
@@ -63,14 +66,17 @@ from .trace import (ENV_TRACE, NOOP_SPAN, Span, Tracer, adopt, capture,
                     incr, set_enabled, span, tracer)
 
 __all__ = [
-    "ENV_RUN_DB", "ENV_TRACE", "NOOP_SPAN", "MetricDelta",
-    "MetricRegistry", "MetricSet", "MetricSpec", "REGISTRY", "RunDB",
-    "RunRow", "Span", "TraceReadError", "Tracer",
-    "adopt", "aggregate", "build_tree", "capture", "compare_rows",
+    "ENV_RUN_DB", "ENV_TELEMETRY", "ENV_TRACE", "NOOP_SPAN",
+    "MetricDelta", "MetricRegistry", "MetricSet", "MetricSpec",
+    "REGISTRY", "RunDB", "RunRow", "Span", "TelemetryEmitter",
+    "TelemetryHub", "TraceReadError", "Tracer",
+    "adopt", "aggregate", "build_tree", "capture",
+    "chrome_trace_events", "chrometrace", "compare_rows",
     "current_span", "dashboard", "default_db_path",
     "default_golden_path", "default_tracer", "emit", "enabled",
     "format_seconds", "gated_regressions", "gauge", "golden_flow_rows",
-    "incr", "load_jsonl", "metrics", "profiled", "render_compare",
-    "render_report", "render_stats", "render_tree", "rundb",
-    "set_enabled", "span", "tracer",
+    "incr", "live", "load_jsonl", "metrics", "profiled",
+    "render_compare", "render_report", "render_stats", "render_tree",
+    "rundb", "session_hub", "set_enabled", "span", "tracer",
+    "write_chrome_trace",
 ]

@@ -520,6 +520,9 @@ for _spec in [
     MetricSpec("exp.pool.speedup", GAUGE, "x", "measured warm-pool "
                "speedup over the process-per-job scheduler",
                direction="higher"),
+    MetricSpec("exp.pool.stalled", GAUGE, "procs", "busy pooled "
+               "workers whose live-telemetry heartbeats have gone "
+               "stale (hung-worker suspects)", direction="lower"),
 ]:
     REGISTRY.register(_spec)
 del _spec

@@ -36,7 +36,8 @@ from typing import Any, Iterable, Iterator
 __all__ = [
     "ENV_TRACE", "NOOP_SPAN", "Span", "Tracer", "adopt", "capture",
     "current_span", "default_tracer", "emit", "enabled", "gauge",
-    "incr", "set_enabled", "span", "tracer",
+    "incr", "set_enabled", "set_span_listener", "span",
+    "span_listener", "tracer",
 ]
 
 #: Environment variable the CLI honours as a default trace output path.
@@ -49,6 +50,23 @@ _current_span: contextvars.ContextVar["Span | None"] = \
     contextvars.ContextVar("repro_obs_span", default=None)
 _current_tracer: contextvars.ContextVar["Tracer | None"] = \
     contextvars.ContextVar("repro_obs_tracer", default=None)
+
+#: Optional process-wide ``fn(phase, span)`` hook, called with
+#: ``"open"`` on span entry and ``"close"`` on exit.  The live
+#: telemetry emitter (:mod:`repro.obs.live`) installs it inside pool
+#: workers to stream span events out-of-band; ``None`` (the default)
+#: keeps the span path hook-free -- one global read per open/close.
+_span_listener = None
+
+
+def span_listener():
+    return _span_listener
+
+
+def set_span_listener(fn) -> None:
+    """Install (or with ``None`` remove) the span open/close hook."""
+    global _span_listener
+    _span_listener = fn
 
 
 class Span:
@@ -87,6 +105,11 @@ class Span:
     def __enter__(self) -> "Span":
         self.t_wall = time.time()
         self._token = _current_span.set(self)
+        if _span_listener is not None:
+            try:
+                _span_listener("open", self)
+            except Exception:
+                pass
         self._t0 = time.perf_counter()
         return self
 
@@ -96,6 +119,11 @@ class Span:
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self._tracer._finish(self)
+        if _span_listener is not None:
+            try:
+                _span_listener("close", self)
+            except Exception:
+                pass
         return False
 
 
@@ -208,11 +236,31 @@ class Tracer:
         return len(self._records)
 
     def write_jsonl(self, path: str | os.PathLike) -> int:
-        """One JSON object per line; returns the number written."""
-        with open(path, "w") as fh:
-            for rec in self._records:
-                fh.write(json.dumps(rec, sort_keys=True, default=str))
-                fh.write("\n")
+        """One JSON object per line; returns the number written.
+
+        The export is atomic: records stream into a sibling temp file
+        that replaces ``path`` only after a successful flush+fsync, so
+        a crash (or full disk) mid-export can never leave a truncated
+        trace behind -- either the previous file survives intact or
+        the complete new one does.
+        """
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as fh:
+                for rec in self._records:
+                    fh.write(json.dumps(rec, sort_keys=True,
+                                        default=str))
+                    fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return len(self._records)
 
 

@@ -34,3 +34,7 @@ except ImportError:                       # pragma: no cover
 @pytest.fixture(autouse=True)
 def _isolated_run_db(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_RUN_DB", str(tmp_path / "test-runs.db"))
+    # Live telemetry stays off (and its snapshot dir away from the
+    # developer's ~/.cache) unless a test opts in explicitly.
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    monkeypatch.delenv("REPRO_HB_INTERVAL", raising=False)

@@ -392,3 +392,125 @@ class TestCli:
         batch = by_name(recs, "exp.batch")[0]
         assert batch["attrs"]["n_jobs"] == 1
         assert len(by_name(recs, "exp.job")) == 1
+
+
+# ---------------------------------------------------------------------------
+# Atomic JSONL export
+# ---------------------------------------------------------------------------
+
+class TestAtomicWrite:
+    def _tracer(self, label):
+        with obs.capture() as tr:
+            with obs.span("stage", label=label):
+                pass
+        return tr
+
+    def test_failed_replace_keeps_previous_file(self, tmp_path,
+                                                monkeypatch):
+        path = tmp_path / "t.jsonl"
+        self._tracer("old").write_jsonl(path)
+        before = path.read_text()
+
+        import os as _os
+        real_replace = _os.replace
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(_os, "replace", boom)
+        with pytest.raises(OSError):
+            self._tracer("new").write_jsonl(path)
+        monkeypatch.setattr(_os, "replace", real_replace)
+
+        # Previous export intact, no temp-file litter.
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_no_temp_files_after_success(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._tracer("x").write_jsonl(path)
+        assert list(tmp_path.iterdir()) == [path]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event conversion
+# ---------------------------------------------------------------------------
+
+class TestChromeTrace:
+    def _records(self):
+        with obs.capture() as tr:
+            with obs.span("flow.run", circuit="c17") as sp:
+                sp.incr("luts", 12)
+                with obs.span("flow.place"):
+                    pass
+                obs.emit("flow.note", level="info")
+        return tr.export()
+
+    def test_events_cover_every_record(self):
+        recs = self._records()
+        events = obs.chrome_trace_events(recs)
+        data = [e for e in events if e["ph"] != "M"]
+        assert len(data) == len(recs)
+        by_name = {e["name"]: e for e in data}
+        run = by_name["flow.run"]
+        assert run["ph"] == "X" and run["dur"] > 0
+        assert run["ts"] > 0
+        assert run["args"]["circuit"] == "c17"
+        assert run["args"]["counter.luts"] == 12
+        # zero-duration emit becomes a thread-scoped instant
+        note = by_name["flow.note"]
+        assert note["ph"] == "i" and note["s"] == "t"
+
+    def test_metadata_names_process_and_threads(self):
+        events = obs.chrome_trace_events(self._records())
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "repro-flow"
+        assert all(e["name"] in ("process_name", "thread_name")
+                   for e in meta)
+        tids = {e["tid"] for e in events if e["ph"] != "M"}
+        named = {e["tid"] for e in meta if e["name"] == "thread_name"}
+        assert tids <= named
+
+    def test_sorted_by_timestamp(self):
+        events = obs.chrome_trace_events(self._records())
+        ts = [e["ts"] for e in events if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_deterministic_for_same_input(self):
+        recs = self._records()
+        assert obs.chrome_trace_events(recs) \
+            == obs.chrome_trace_events(recs)
+
+    def test_write_chrome_trace_file(self, tmp_path):
+        path = tmp_path / "t.chrome.json"
+        n = obs.write_chrome_trace(self._records(), path)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == n
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_cli_trace_chrome_format(self, tmp_path, capsys):
+        src = tmp_path / "t.jsonl"
+        with obs.capture() as tr:
+            with obs.span("flow.run"):
+                pass
+        tr.write_jsonl(src)
+        out = tmp_path / "out.json"
+        assert cli_main(["trace", str(src), "--format", "chrome",
+                         "-o", str(out)]) == 0
+        assert "trace events" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "flow.run" in names
+
+    def test_cli_default_output_path(self, tmp_path, capsys,
+                                     monkeypatch):
+        src = tmp_path / "t.jsonl"
+        with obs.capture() as tr:
+            with obs.span("flow.run"):
+                pass
+        tr.write_jsonl(src)
+        assert cli_main(["trace", str(src), "--format",
+                         "chrome"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "t.chrome.json").exists()
