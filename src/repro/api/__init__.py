@@ -1,0 +1,24 @@
+"""Typed submission API: one schema, three transports.
+
+Everything a caller needs to describe, configure and execute work:
+
+- :class:`JobRequest` / :class:`JobStatus` / :class:`Result` /
+  :class:`JobErrorInfo` -- the wire types shared verbatim by the
+  in-process facade, the HTTP job server (:mod:`repro.serve`) and the
+  ``repro-flow`` client CLI.
+- :func:`submit` -- execute one request in-process.
+- :class:`Config` -- every ``REPRO_*`` knob as one documented
+  dataclass with ``explicit arg > env > default`` precedence.
+"""
+
+from .config import Config, UNSET
+from .facade import submit
+from .types import (EXPERIMENTS, JOB_STATES, MAX_BODY_BYTES,
+                    JobErrorInfo, JobRequest, JobStatus, RequestError,
+                    Result)
+
+__all__ = [
+    "Config", "EXPERIMENTS", "JOB_STATES", "JobErrorInfo",
+    "JobRequest", "JobStatus", "MAX_BODY_BYTES", "RequestError",
+    "Result", "UNSET", "submit",
+]

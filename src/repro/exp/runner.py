@@ -300,8 +300,11 @@ class ParallelRunner:
                 timeout_s = float(os.environ[ENV_JOB_TIMEOUT])
             except (KeyError, ValueError):
                 timeout_s = None
-            if timeout_s is not None and timeout_s <= 0:
-                timeout_s = None
+        # Non-positive means "no timeout" whether it came from the
+        # environment or an explicit argument (an explicit 0 lets
+        # callers disable a timeout without re-reading the env).
+        if timeout_s is not None and timeout_s <= 0:
+            timeout_s = None
         self.timeout_s = timeout_s
         self.backoff_s = backoff_s
         self.start_method = start_method
@@ -317,8 +320,9 @@ class ParallelRunner:
                 chunk = int(os.environ[ENV_CHUNK])
             except (KeyError, ValueError):
                 chunk = None
-            if chunk is not None and chunk <= 0:
-                chunk = None
+        # As with timeout_s: non-positive always means automatic.
+        if chunk is not None and chunk <= 0:
+            chunk = None
         self.chunk = chunk
 
     # ------------------------------------------------------------------
@@ -814,13 +818,7 @@ def default_runner() -> ParallelRunner:
     Invalid values fall back to the defaults rather than raising, so a
     stray environment variable can never break a batch.
     """
-    try:
-        jobs = int(os.environ.get(ENV_JOBS, "1"))
-    except ValueError:
-        jobs = 1
-    no_cache = os.environ.get(ENV_NO_CACHE, "").lower() in _TRUTHY
-    # REPRO_JOB_TIMEOUT / REPRO_POOL / REPRO_CHUNK are resolved by
-    # ParallelRunner.__init__ itself (explicit argument beats the
-    # environment), so every construction site honours them -- the CLI
-    # included, not just this helper.
-    return ParallelRunner(jobs=jobs, use_cache=not no_cache)
+    # All knobs resolve through repro.api.Config, the one place the
+    # `explicit arg > env > default` rule lives.
+    from ..api.config import Config
+    return Config.from_env().runner()

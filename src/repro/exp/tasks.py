@@ -179,14 +179,14 @@ def _flow(vhdl: str, *, seed: int = 1, place_effort: float = 1.0,
           route_impl: str = "auto") -> dict[str, Any]:
     """Run the full flow; return a condensed, picklable QoR record."""
     from ..arch import DEFAULT_ARCH
-    from ..flow.flow import FlowOptions, run_flow
+    from ..flow.flow import FlowOptions, _run_flow
     options = FlowOptions(arch=arch or DEFAULT_ARCH, seed=seed,
                           place_effort=place_effort,
                           min_channel_width=min_channel_width,
                           gated_clock=gated_clock, f_clk_hz=f_clk_hz,
                           use_cache=use_cache, place_impl=place_impl,
                           route_impl=route_impl)
-    res = run_flow(vhdl, options)
+    res = _run_flow(vhdl, options)
     return {
         "summary": res.summary(),
         "bitstream": res.bitstream,

@@ -23,6 +23,14 @@ standalone program as well as part of a complete design framework":
     repro-flow history   [--metric flow.fmax_MHz]  (recorded runs)
     repro-flow compare   [RUN_A RUN_B | --against-golden]
     repro-flow report    [--html qor.html]  (sparkline dashboard)
+    repro-flow serve     [--port 8732]   (flow-as-a-service daemon)
+    repro-flow submit    design.vhd --wait [--events]  (via the server)
+    repro-flow status    JOB_ID
+    repro-flow fetch     ARTIFACT_HASH [-o result.json]
+
+Every subcommand follows one exit-code convention: 0 success,
+1 gated failure (failed syntax check, QoR regression, failed job),
+2 usage or data error (bad arguments, unreadable input, unknown id).
 
 ``vpr``/``flow`` cache every stage output content-addressed (input
 hash + options + code version); ``exp`` fans the independent
@@ -60,10 +68,12 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
-from .. import obs
+from .. import api, obs
+from ..api import UNSET
 from ..arch import ArchParams, DEFAULT_ARCH, generate_arch_file, \
     load_arch_file
-from ..exp import NullCache, ParallelRunner, ResultCache
+from ..exp import ParallelRunner, ResultCache
+from ..exp.runner import JobFailedError
 from ..hdl.parser import check_syntax
 from ..hdl.synth import synthesize
 from ..netlist.blif import load_blif, save_blif
@@ -71,10 +81,17 @@ from ..netlist.edif import load_edif, save_edif
 from ..pack import pack_netlist, save_net
 from ..synth import optimize_and_map
 from ..tools import druid, structural_to_logic
-from .flow import DesignFlow, FlowOptions, run_flow_from_logic
+from .flow import DesignFlow, FlowOptions, _run_flow_from_logic
 from .gui import FlowGui, render_html
 
 __all__ = ["main"]
+
+#: Exit-code convention shared by every subcommand:
+#: 0 = success, 1 = gated failure (syntax check failed, QoR gate
+#: regressed, submitted job failed), 2 = usage or data error (bad
+#: arguments, unreadable/unparseable input, unknown id, server
+#: unreachable).
+EXIT_OK, EXIT_FAILED, EXIT_USAGE = 0, 1, 2
 
 
 def _add_cache_args(p) -> None:
@@ -116,12 +133,28 @@ def _add_rundb_args(p) -> None:
                         "the subcommand name)")
 
 
+def _config_from_args(args) -> api.Config:
+    """Resolve the runtime config: explicit flags > env > defaults.
+
+    Only flags the user actually passed override the environment;
+    everything else falls through :meth:`repro.api.Config.from_env`.
+    """
+    jobs = getattr(args, "jobs", None)
+    pool = getattr(args, "pool", None)
+    timeout = getattr(args, "job_timeout", None)
+    return api.Config.from_env(
+        jobs=UNSET if jobs is None else jobs,
+        cache=False if getattr(args, "no_cache", False) else UNSET,
+        cache_dir=getattr(args, "cache_dir", None) or UNSET,
+        job_timeout_s=UNSET if timeout is None else timeout,
+        pool=UNSET if pool is None else pool,
+        trace=getattr(args, "trace", None) or UNSET,
+        run_db=getattr(args, "run_db", None) or UNSET,
+    )
+
+
 def _runner_from_args(args) -> ParallelRunner:
-    cache = (NullCache() if args.no_cache
-             else ResultCache(args.cache_dir))
-    return ParallelRunner(jobs=getattr(args, "jobs", 1), cache=cache,
-                          timeout_s=getattr(args, "job_timeout", None),
-                          pool=getattr(args, "pool", None))
+    return _config_from_args(args).runner()
 
 
 def _arch_from_args(args) -> ArchParams:
@@ -203,8 +236,9 @@ def main(argv: list[str] | None = None) -> int:
                                    "figure) through the engine")
     p.add_argument("what", choices=["table1", "table2", "table3",
                                     "fig8", "fig9", "fig10", "tristate"])
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes (0 = all cores)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (0 = all cores; default "
+                        "$REPRO_JOBS, else 1)")
     p.add_argument("--dt", type=float, default=None,
                    help="simulation timestep in seconds")
     p.add_argument("--job-timeout", dest="job_timeout", type=float,
@@ -360,8 +394,77 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--limit", type=int, default=60,
                    help="trend window: most recent N runs (default 60)")
 
-    args = parser.parse_args(argv)
+    p = sub.add_parser("serve", help="start the flow-as-a-service job "
+                                     "server (POST /jobs, ...)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="bind port (default 8732; 0 = ephemeral)")
+    p.add_argument("--artifact-dir", dest="artifact_dir", default=None,
+                   help="content-addressed artifact store root "
+                        "(default $REPRO_ARTIFACT_DIR or "
+                        "~/.cache/repro/artifacts)")
+    p.add_argument("--quota", type=int, default=None,
+                   help="max queued jobs per tenant (default 16)")
+    _add_cache_args(p)
+    _add_rundb_path_arg(p)
 
+    p = sub.add_parser("submit", help="submit a design or experiment "
+                                      "to a running job server")
+    p.add_argument("input", nargs="?", default=None,
+                   help="VHDL or BLIF design file (omit with "
+                        "--experiment)")
+    p.add_argument("--experiment", default=None,
+                   choices=list(api.EXPERIMENTS),
+                   help="submit a paper sweep instead of a design")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--min-channel-width", action="store_true")
+    p.add_argument("--dt", type=float, default=None,
+                   help="experiment simulation timestep in seconds")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for queue quotas (default "
+                        "'default')")
+    p.add_argument("--priority", type=int, default=0,
+                   help="queue priority; higher runs first (default 0)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="server port (default 8732)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes; exit 1 if it "
+                        "failed")
+    p.add_argument("--events", action="store_true",
+                   help="stream per-stage progress events (NDJSON) "
+                        "while waiting; implies --wait")
+
+    p = sub.add_parser("status", help="query a submitted job's status")
+    p.add_argument("job_id")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+
+    p = sub.add_parser("fetch", help="fetch a completed result from "
+                                     "the artifact store by hash")
+    p.add_argument("artifact", help="content hash (64 hex chars; see "
+                                    "the job status 'artifact' field)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("-o", "--output", default=None,
+                   help="write the result JSON here instead of stdout")
+
+    args = parser.parse_args(argv)
+    try:
+        return _run_command(args, parser)
+    except JobFailedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    except (OSError, ValueError) as exc:
+        # Unreadable/unparseable inputs (BlifError, EdifError,
+        # RequestError, arch files, missing paths) are all data/usage
+        # errors under the shared exit-code convention.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+def _run_command(args, parser) -> int:
     if getattr(args, "live", False) and not obs.live.enabled():
         # Same switch the environment flips; a REPRO_TELEMETRY dir
         # already in force keeps its custom location.
@@ -487,7 +590,7 @@ def _dispatch(args, parser) -> int:
                               work_dir=args.workdir,
                               use_cache=not args.no_cache,
                               cache_dir=args.cache_dir)
-        result = run_flow_from_logic(logic, options)
+        result = _run_flow_from_logic(logic, options)
         print(json.dumps(result.summary(), indent=2))
         return 0
 
@@ -517,6 +620,12 @@ def _dispatch(args, parser) -> int:
 
     if args.cmd == "cache":
         return _run_cache(args)
+
+    if args.cmd == "serve":
+        return _run_serve(args)
+
+    if args.cmd in ("submit", "status", "fetch"):
+        return _run_client(args)
 
     parser.error(f"unknown command {args.cmd!r}")
     return 2
@@ -816,29 +925,109 @@ def _run_disasm(args) -> int:
     return 0
 
 
-def _run_exp(args) -> int:
-    """``repro-flow exp``: one table/figure through the batch engine."""
-    from ..circuit.experiments import (run_fig_sweep, run_table1,
-                                       run_table2, run_table3)
-    runner = _runner_from_args(args)
-    dt = args.dt
+def _run_serve(args) -> int:
+    """``repro-flow serve``: start the flow-as-a-service daemon."""
+    from ..serve import DEFAULT_PORT, JobServer
+    from ..serve.jobs import DEFAULT_TENANT_QUOTA
+    config = _config_from_args(args)
+    server = JobServer(
+        config, host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        artifact_dir=args.artifact_dir,
+        quota=(args.quota if args.quota is not None
+               else DEFAULT_TENANT_QUOTA))
 
-    if args.what == "table1":
-        rows = run_table1(dt=dt or 1e-12, runner=runner)
-    elif args.what == "table2":
-        rows = run_table2(dt=dt or 1e-12, runner=runner)
-    elif args.what == "table3":
-        rows = run_table3(dt=dt or 1e-12, runner=runner)
-    else:
-        fig = "fig9" if args.what == "tristate" else args.what
-        switch = "tbuf" if args.what == "tristate" else "pass"
-        sweep = run_fig_sweep(fig, switch_type=switch,
-                              dt=dt or 2e-12, runner=runner)
-        rows = [{"wire_len": length, "width_x": m.width_mult,
-                 "energy_fJ": m.energy / 1e-15,
-                 "delay_ps": m.delay / 1e-12,
-                 "area_mwta": m.area, "EDA": m.eda}
-                for length, ms in sweep.items() for m in ms]
+    async def announce_and_serve():
+        await server.start()
+        print(f"# serving on http://{server.host}:{server.port} "
+              f"(POST /jobs; SIGTERM drains gracefully)",
+              file=sys.stderr, flush=True)
+        import asyncio
+        import contextlib
+        import signal as signal_mod
+        loop = asyncio.get_running_loop()
+        for sig in (signal_mod.SIGTERM, signal_mod.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(sig, server.begin_drain)
+        while not server.draining:
+            await asyncio.sleep(0.1)
+        print("# draining: finishing in-flight work, persisting "
+              "queue...", file=sys.stderr, flush=True)
+        await server.stop()
+        print(f"# drained cleanly ({server.health()['served']} job(s) "
+              f"served)", file=sys.stderr, flush=True)
+
+    import asyncio
+    try:
+        asyncio.run(announce_and_serve())
+    except KeyboardInterrupt:
+        pass
+    return EXIT_OK
+
+
+def _submit_request(args) -> api.JobRequest:
+    """Build the typed request for ``repro-flow submit``."""
+    if (args.input is None) == (args.experiment is None):
+        raise ValueError("submit takes exactly one of: a design file, "
+                         "or --experiment NAME")
+    if args.experiment is not None:
+        return api.JobRequest(kind="experiment",
+                              experiment=args.experiment, dt=args.dt,
+                              seed=args.seed, tenant=args.tenant,
+                              priority=args.priority)
+    text = Path(args.input).read_text()
+    kind_field = ("blif" if Path(args.input).suffix.lower() == ".blif"
+                  else "vhdl")
+    return api.JobRequest(
+        kind="flow", seed=args.seed,
+        min_channel_width=args.min_channel_width, tenant=args.tenant,
+        priority=args.priority, **{kind_field: text})
+
+
+def _run_client(args) -> int:
+    """``repro-flow submit|status|fetch``: talk to a running server."""
+    from ..serve import DEFAULT_PORT, ServiceClient, ServiceError
+    client = ServiceClient(
+        args.host, DEFAULT_PORT if args.port is None else args.port)
+    try:
+        if args.cmd == "status":
+            print(json.dumps(client.status(args.job_id).to_json(),
+                             indent=2, sort_keys=True))
+            return EXIT_OK
+
+        if args.cmd == "fetch":
+            value = client.artifact(args.artifact)
+            text = json.dumps(value, indent=2, sort_keys=True)
+            if args.output:
+                Path(args.output).write_text(text)
+                print(f"wrote {args.output}")
+            else:
+                print(text)
+            return EXIT_OK
+
+        status = client.submit(_submit_request(args))
+        if args.events and not status.done:
+            for event in client.events(status.id):
+                print(json.dumps(event, sort_keys=True), flush=True)
+        if args.wait or args.events:
+            status = client.wait(status.id)
+        print(json.dumps(status.to_json(), indent=2, sort_keys=True))
+        return (EXIT_FAILED if (args.wait or args.events)
+                and status.state == "failed" else EXIT_OK)
+    except (ServiceError, ConnectionError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+def _run_exp(args) -> int:
+    """``repro-flow exp``: one table/figure through the typed facade."""
+    config = _config_from_args(args)
+    runner = config.runner()
+    result = api.submit(
+        api.JobRequest(kind="experiment", experiment=args.what,
+                       dt=args.dt),
+        config=config, runner=runner)
+    rows = result.value["rows"]
 
     text = json.dumps(rows, indent=2)
     if args.output:

@@ -403,14 +403,14 @@ class DesignFlow:
         return self.result
 
 
-def run_flow(vhdl_text: str,
-             options: FlowOptions | None = None) -> FlowResult:
-    """Convenience wrapper: VHDL text in, :class:`FlowResult` out."""
+def _run_flow(vhdl_text: str,
+              options: FlowOptions | None = None) -> FlowResult:
+    """VHDL text in, :class:`FlowResult` out (internal entrypoint)."""
     return DesignFlow(options).run(vhdl_text)
 
 
-def run_flow_from_logic(logic: LogicNetwork,
-                        options: FlowOptions | None = None) -> FlowResult:
+def _run_flow_from_logic(logic: LogicNetwork,
+                         options: FlowOptions | None = None) -> FlowResult:
     """Run the flow starting from a BLIF-level network (skips HDL)."""
     flow = DesignFlow(options)
     opts = flow.options
@@ -436,6 +436,33 @@ def run_flow_from_logic(logic: LogicNetwork,
         sp.set_attr(**flow.result.summary())
     flow.publish_metrics()
     return flow.result
+
+
+# ---------------------------------------------------------------------------
+# Deprecated public entrypoints.  Submit a JobRequest(kind="flow")
+# through `repro.api.submit` instead; these shims keep existing callers
+# working unchanged.
+
+def run_flow(vhdl_text: str,
+             options: FlowOptions | None = None) -> FlowResult:
+    """Deprecated alias of the flow behind ``repro.api.submit``."""
+    import warnings
+    warnings.warn(
+        "repro.flow.run_flow() is deprecated; submit a "
+        "JobRequest(kind='flow') through repro.api.submit() instead",
+        DeprecationWarning, stacklevel=2)
+    return _run_flow(vhdl_text, options)
+
+
+def run_flow_from_logic(logic: LogicNetwork,
+                        options: FlowOptions | None = None) -> FlowResult:
+    """Deprecated alias of the flow behind ``repro.api.submit``."""
+    import warnings
+    warnings.warn(
+        "repro.flow.run_flow_from_logic() is deprecated; submit a "
+        "JobRequest(kind='flow', blif=...) through repro.api.submit() "
+        "instead", DeprecationWarning, stacklevel=2)
+    return _run_flow_from_logic(logic, options)
 
 
 def _format_place(pl: Placement) -> str:

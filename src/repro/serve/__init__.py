@@ -1,0 +1,18 @@
+"""Flow-as-a-service: HTTP job server over the typed submission API.
+
+    repro-flow serve                      # start the daemon
+    repro-flow submit design.vhd --wait   # run a flow through it
+    repro-flow status <job-id>
+    repro-flow fetch <artifact-hash>
+
+See :mod:`repro.serve.server` for the endpoint contract.
+"""
+
+from .artifacts import ArtifactStore, is_artifact_hash
+from .client import ServiceClient, ServiceError
+from .jobs import Job, QueueStore, QuotaExceeded, TenantQueue
+from .server import DEFAULT_PORT, JobServer
+
+__all__ = ["ArtifactStore", "DEFAULT_PORT", "Job", "JobServer",
+           "QueueStore", "QuotaExceeded", "ServiceClient",
+           "ServiceError", "TenantQueue", "is_artifact_hash"]

@@ -1,0 +1,128 @@
+"""Stdlib HTTP client for the job server (CLI + tests).
+
+Thin, synchronous, one connection per call -- the protocol is four
+endpoints of JSON, so :mod:`http.client` covers it without any
+dependency.  Server-reported errors raise :class:`ServiceError`
+carrying the structured ``{"code", "message"}`` payload and the HTTP
+status, so callers can branch on ``code`` instead of parsing prose.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+
+from ..api import JobRequest, JobStatus
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A structured error response from the server."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.serve.server.JobServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8732, *,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Any | None = None) -> Any:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = (json.dumps(body).encode()
+                       if body is not None else None)
+            headers = ({"Content-Type": "application/json"}
+                       if payload is not None else {})
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+        finally:
+            conn.close()
+        try:
+            data = json.loads(raw) if raw else None
+        except json.JSONDecodeError:
+            raise ServiceError(resp.status, "bad_response",
+                               raw[:200].decode("latin-1")) from None
+        if resp.status >= 400:
+            err = (data or {}).get("error", {}) if isinstance(data, dict) \
+                else {}
+            raise ServiceError(resp.status,
+                               err.get("code", "error"),
+                               err.get("message", f"HTTP {resp.status}"))
+        return data
+
+    # -- API -----------------------------------------------------------
+    def submit(self, request: JobRequest) -> JobStatus:
+        return JobStatus.from_json(
+            self._request("POST", "/jobs", request.to_json()))
+
+    def status(self, job_id: str) -> JobStatus:
+        return JobStatus.from_json(self._request("GET",
+                                                 f"/jobs/{job_id}"))
+
+    def artifact(self, key: str) -> Any:
+        return self._request("GET", f"/artifacts/{key}")
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Stream the job's NDJSON progress events as they happen.
+
+        Yields until the server ends the stream (job reached a
+        terminal state) or the connection drops.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                raw = resp.read()
+                try:
+                    err = json.loads(raw).get("error", {})
+                except (json.JSONDecodeError, AttributeError):
+                    err = {}
+                raise ServiceError(resp.status,
+                                   err.get("code", "error"),
+                                   err.get("message",
+                                           f"HTTP {resp.status}"))
+            for line in resp:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str, *, timeout: float = 600.0,
+             poll_s: float = 0.25) -> JobStatus:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.done:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.state!r} after "
+                    f"{timeout:.0f}s")
+            time.sleep(poll_s)

@@ -1,0 +1,434 @@
+"""The flow-as-a-service daemon: an asyncio HTTP front on `repro.api`.
+
+Stdlib only.  One process hosts two cooperating halves:
+
+- the **asyncio loop** speaks minimal HTTP/1.1: it parses requests,
+  enforces quotas and body limits, answers status lookups from the
+  in-memory job table and serves artifacts straight off disk.  Every
+  error is structured JSON (``{"error": {"code", "message"}}``) with a
+  meaningful status code.
+- the **executor thread** pops jobs off the tenant priority queue and
+  runs them through :func:`repro.api.submit` in-process, so the flow's
+  ``flow.*`` / ``exp.*`` obs spans fire right here and become the
+  per-stage progress events that ``GET /jobs/<id>/events`` streams
+  (and that feed the :class:`~repro.obs.live.TelemetryHub`).
+
+Endpoints::
+
+    POST /jobs              submit a JobRequest           202 (200 cached)
+    GET  /jobs/<id>         JobStatus                     200 / 404
+    GET  /jobs/<id>/events  NDJSON progress stream        200 / 404
+    GET  /artifacts/<hash>  completed Result JSON         200 / 400 / 404
+    GET  /healthz           liveness + queue counts       200
+
+Completed results land in the content-addressed
+:class:`~repro.serve.artifacts.ArtifactStore` keyed by
+``JobRequest.content_hash()``; a resubmission of identical work is
+answered ``done`` immediately from the store without executing
+anything.  ``SIGTERM``/``SIGINT`` trigger a graceful drain: new
+submissions get 503, the in-flight job finishes, and still-queued jobs
+persist to the run DB (:class:`~repro.serve.jobs.QueueStore`) from
+which the next start resumes them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import secrets
+import signal
+import threading
+import time
+from typing import Any
+
+from .. import api
+from ..api import (JobErrorInfo, JobRequest, MAX_BODY_BYTES,
+                   RequestError)
+from ..obs import live as live_mod
+from ..obs import trace as trace_mod
+from .artifacts import ArtifactStore, is_artifact_hash
+from .jobs import (DEFAULT_TENANT_QUOTA, Job, QueueStore, QuotaExceeded,
+                   TenantQueue)
+
+__all__ = ["JobServer", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 8732
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            411: "Length Required", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+#: How often a progress stream checks its job for fresh events (s).
+_STREAM_POLL_S = 0.05
+
+
+class _HttpError(Exception):
+    """Maps straight to one structured JSON error response."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+class JobServer:
+    """One service instance: HTTP front, queue, executor, stores."""
+
+    def __init__(self, config: api.Config | None = None, *,
+                 host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 artifact_dir: str | None = None,
+                 quota: int = DEFAULT_TENANT_QUOTA):
+        self.config = config if config is not None else api.Config.from_env()
+        self.host = host
+        self.port = port
+        self.artifacts = ArtifactStore(artifact_dir)
+        self.queue = TenantQueue(quota=quota)
+        self.store = QueueStore(self.config.run_db)
+        self.hub = live_mod.TelemetryHub(
+            self.config.telemetry_dir if self.config.telemetry else None,
+            hb_interval_s=self.config.hb_interval_s)
+        self.jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self.draining = False
+        self._served = 0
+        self._cached_hits = 0
+        self._resumed = 0
+        self._runner = None          # lazy shared experiment runner
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: threading.Thread | None = None
+        self._stop_exec = threading.Event()
+        self._drained = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Bind, resume any persisted queue, start the executor."""
+        for job in self.store.load():
+            with self._jobs_lock:
+                self.jobs[job.id] = job
+            self.queue.push(job)
+            self._resumed += 1
+        self._executor = threading.Thread(
+            target=self._executor_loop, name="repro-serve-executor",
+            daemon=True)
+        self._executor.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def begin_drain(self) -> None:
+        """Refuse new work; let the running job finish; persist queue."""
+        self.draining = True
+        self._stop_exec.set()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain, persist, close the listener."""
+        self.begin_drain()
+        if self._executor is not None:
+            while self._executor.is_alive():
+                await asyncio.sleep(0.05)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.store.close()
+
+    async def run_until_drained(self) -> None:
+        """Serve until :meth:`begin_drain` (e.g. via SIGTERM)."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(sig, self.begin_drain)
+        while not self.draining:
+            await asyncio.sleep(0.1)
+        await self.stop()
+
+    def serve_forever(self) -> None:
+        """Blocking entrypoint used by ``repro-flow serve``."""
+        asyncio.run(self.run_until_drained())
+
+    # -- executor thread -----------------------------------------------
+    def _executor_loop(self) -> None:
+        while not self._stop_exec.is_set():
+            job = self.queue.pop(timeout=0.1)
+            if job is not None:
+                self._run_job(job)
+        persisted = self.store.save(self.queue.drain())
+        if persisted:
+            self.hub.record_event(
+                ("span", os.getpid(), "close", "serve.persist",
+                 time.time(), 0.0))
+        self._drained.set()
+
+    def _experiment_runner(self):
+        if self._runner is None:
+            self._runner = self.config.runner()
+        return self._runner
+
+    def _run_job(self, job: Job) -> None:
+        status = job.status
+        status.state = "running"
+        status.started = time.time()
+        job.add_event({"event": "started", "job": job.id,
+                       "t": status.started})
+        pid = os.getpid()
+
+        def listener(phase: str, span) -> None:
+            name = getattr(span, "name", "")
+            if not (name.startswith("flow.") or name.startswith("exp.")):
+                return
+            seconds = float(span.seconds) if phase == "close" else 0.0
+            event: dict[str, Any] = {"event": "stage", "phase": phase,
+                                     "stage": name, "t": time.time()}
+            if phase == "close":
+                event["seconds"] = round(seconds, 6)
+            job.add_event(event)
+            self.hub.record_event(
+                ("span", pid, phase, name, time.time(), seconds))
+
+        previous = trace_mod.span_listener()
+        trace_mod.set_span_listener(listener)
+        try:
+            runner = (self._experiment_runner()
+                      if job.request.kind == "experiment" else None)
+            result = api.submit(job.request, config=self.config,
+                                runner=runner)
+            key = job.request.content_hash()
+            self.artifacts.put(key, result.to_json())
+            status.state = "done"
+            status.artifact = key
+        except Exception as exc:   # noqa: BLE001 -- becomes JobError
+            kind = "timeout" if isinstance(exc, TimeoutError) else "error"
+            status.state = "failed"
+            status.error = JobErrorInfo.from_exception(exc, kind)
+        finally:
+            trace_mod.set_span_listener(previous)
+            status.finished = time.time()
+            self._served += 1
+            event = {"event": status.state, "job": job.id,
+                     "t": status.finished}
+            if status.artifact:
+                event["artifact"] = status.artifact
+            if status.error is not None:
+                event["error"] = status.error.to_json()
+            job.add_event(event)
+            job.finished.set()
+
+    # -- submission ----------------------------------------------------
+    def submit(self, request: JobRequest) -> Job:
+        """Register one request: dedup against artifacts, else enqueue.
+
+        Raises :class:`QuotaExceeded` when the tenant's queue quota is
+        full and :class:`_HttpError` 503 while draining.
+        """
+        if self.draining:
+            raise _HttpError(503, "draining",
+                             "server is draining; resubmit later")
+        job = Job.create(secrets.token_hex(8), request)
+        key = request.content_hash()
+        if self.artifacts.has(key):
+            now = time.time()
+            job.status.state = "done"
+            job.status.cached = True
+            job.status.artifact = key
+            job.status.started = job.status.finished = now
+            job.add_event({"event": "done", "job": job.id, "t": now,
+                           "artifact": key, "cached": True})
+            job.finished.set()
+            self._cached_hits += 1
+            with self._jobs_lock:
+                self.jobs[job.id] = job
+            return job
+        with self._jobs_lock:
+            self.jobs[job.id] = job
+        try:
+            self.queue.push(job)
+        except QuotaExceeded:
+            with self._jobs_lock:
+                self.jobs.pop(job.id, None)
+            raise
+        return job
+
+    # -- HTTP plumbing -------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, headers = await self._read_head(reader)
+            except _HttpError as exc:
+                await self._send_error(writer, exc)
+                return
+            try:
+                await self._route(method, path, headers, reader, writer)
+            except _HttpError as exc:
+                await self._send_error(writer, exc)
+            except Exception as exc:   # noqa: BLE001 -- last resort
+                await self._send_error(writer, _HttpError(
+                    500, "internal", f"{type(exc).__name__}: {exc}"))
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass                       # client went away mid-exchange
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_head(self, reader) -> tuple[str, str, dict]:
+        line = (await reader.readline()).decode("latin-1").strip()
+        parts = line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HttpError(400, "bad_request",
+                             "malformed HTTP request line")
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, path, headers
+
+    async def _read_body(self, reader, headers: dict) -> bytes:
+        raw_len = headers.get("content-length")
+        if raw_len is None:
+            raise _HttpError(411, "length_required",
+                             "POST needs a Content-Length header")
+        try:
+            n = int(raw_len)
+        except ValueError:
+            raise _HttpError(400, "bad_request",
+                             "unparseable Content-Length") from None
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise _HttpError(
+                413, "too_large",
+                f"request body exceeds {MAX_BODY_BYTES} bytes")
+        return await reader.readexactly(n)
+
+    async def _route(self, method: str, path: str, headers: dict,
+                     reader, writer) -> None:
+        path = path.split("?", 1)[0]
+        if path == "/jobs":
+            if method != "POST":
+                raise _HttpError(405, "method_not_allowed",
+                                 "submit jobs with POST /jobs")
+            await self._post_job(reader, writer, headers)
+            return
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "method_not_allowed", "GET only")
+            await self._send_json(writer, 200, self.health())
+            return
+        if path.startswith("/jobs/"):
+            if method != "GET":
+                raise _HttpError(405, "method_not_allowed", "GET only")
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/events"):
+                await self._stream_events(writer,
+                                          rest[:-len("/events")])
+            else:
+                await self._send_json(writer, 200,
+                                      self._job(rest).status.to_json())
+            return
+        if path.startswith("/artifacts/"):
+            if method != "GET":
+                raise _HttpError(405, "method_not_allowed", "GET only")
+            await self._get_artifact(writer, path[len("/artifacts/"):])
+            return
+        raise _HttpError(404, "not_found", f"no route for {path}")
+
+    def _job(self, job_id: str) -> Job:
+        with self._jobs_lock:
+            job = self.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, "unknown_job",
+                             f"no such job {job_id!r}")
+        return job
+
+    async def _post_job(self, reader, writer, headers: dict) -> None:
+        body = await self._read_body(reader, headers)
+        try:
+            data = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, "bad_request",
+                             f"request body is not JSON: {exc}") from None
+        try:
+            request = JobRequest.from_json(data)
+        except RequestError as exc:
+            raise _HttpError(400, exc.code, str(exc)) from None
+        try:
+            job = self.submit(request)
+        except QuotaExceeded as exc:
+            raise _HttpError(429, "quota_exceeded", str(exc)) from None
+        status = 200 if job.status.done else 202
+        await self._send_json(writer, status, job.status.to_json())
+
+    async def _get_artifact(self, writer, key: str) -> None:
+        if not is_artifact_hash(key):
+            raise _HttpError(400, "bad_request",
+                             "artifact keys are 64 hex chars")
+        raw = self.artifacts.get_bytes(key)
+        if raw is None:
+            raise _HttpError(404, "unknown_artifact",
+                             f"no artifact {key[:12]}...")
+        await self._send_raw(writer, 200, raw)
+
+    async def _stream_events(self, writer, job_id: str) -> None:
+        """NDJSON progress; ends after the job's terminal event.
+
+        A client hanging up mid-stream only ends the stream -- the job
+        itself keeps running in the executor thread.
+        """
+        job = self._job(job_id)
+        head = (f"HTTP/1.1 200 OK\r\n"
+                f"Content-Type: application/x-ndjson\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode())
+        sent = 0
+        while True:
+            events = job.events          # append-only list
+            while sent < len(events):
+                writer.write(json.dumps(events[sent],
+                                        sort_keys=True).encode()
+                             + b"\n")
+                sent += 1
+            await writer.drain()
+            if job.status.done and sent >= len(job.events):
+                return
+            await asyncio.sleep(_STREAM_POLL_S)
+
+    # -- responses -----------------------------------------------------
+    async def _send_raw(self, writer, status: int, payload: bytes,
+                        content_type: str = "application/json") -> None:
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode() + payload)
+        await writer.drain()
+
+    async def _send_json(self, writer, status: int, value: Any) -> None:
+        await self._send_raw(writer, status,
+                             json.dumps(value, sort_keys=True).encode())
+
+    async def _send_error(self, writer, exc: _HttpError) -> None:
+        with contextlib.suppress(ConnectionError):
+            await self._send_json(writer, exc.status, {
+                "error": {"code": exc.code, "message": str(exc)}})
+
+    # -- introspection -------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "state": "draining" if self.draining else "serving",
+            "queued": self.queue.queued(),
+            "jobs": len(self.jobs),
+            "served": self._served,
+            "cached_hits": self._cached_hits,
+            "resumed": self._resumed,
+            "artifacts": {"hits": self.artifacts.hits,
+                          "puts": self.artifacts.puts},
+        }

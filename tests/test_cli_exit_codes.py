@@ -1,0 +1,130 @@
+"""Exit-code convention across every repro-flow subcommand:
+
+    0  success
+    1  the tool ran but the result is a failure (syntax check failed,
+       gated QoR regression, failed job)
+    2  usage or data error (bad arguments, missing/unparseable input,
+       service unreachable)
+"""
+
+import json
+
+import pytest
+
+from repro.flow.cli import EXIT_FAILED, EXIT_OK, EXIT_USAGE, main
+from tests.test_flow import COUNTER_VHDL
+
+GOOD_BLIF = (".model tiny\n.inputs a\n.outputs y\n"
+             ".names a y\n1 1\n.end\n")
+
+
+@pytest.fixture
+def vhd(tmp_path):
+    path = tmp_path / "counter.vhd"
+    path.write_text(COUNTER_VHDL)
+    return str(path)
+
+
+@pytest.fixture
+def blif(tmp_path):
+    path = tmp_path / "tiny.blif"
+    path.write_text(GOOD_BLIF)
+    return str(path)
+
+
+def test_constants_are_the_convention():
+    assert (EXIT_OK, EXIT_FAILED, EXIT_USAGE) == (0, 1, 2)
+
+
+# ---------------------------------------------------------------------------
+# 0: the tool did its job
+# ---------------------------------------------------------------------------
+
+class TestSuccessIsZero:
+    def test_vhdlparse(self, vhd):
+        assert main(["vhdlparse", vhd]) == EXIT_OK
+
+    def test_dutys(self, tmp_path):
+        out = str(tmp_path / "arch.txt")
+        assert main(["dutys", "-o", out]) == EXIT_OK
+
+    def test_sis(self, blif, tmp_path):
+        out = str(tmp_path / "mapped.blif")
+        assert main(["sis", blif, "-o", out]) == EXIT_OK
+
+    def test_vpr(self, blif, tmp_path, capsys):
+        assert main(["vpr", blif, "--no-cache"]) == EXIT_OK
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["circuit"] == "tiny"
+
+
+# ---------------------------------------------------------------------------
+# 1: ran fine, outcome is a failure
+# ---------------------------------------------------------------------------
+
+class TestGatedFailureIsOne:
+    def test_vhdlparse_syntax_error(self, tmp_path):
+        bad = tmp_path / "broken.vhd"
+        bad.write_text("entity broken is\nport (q : out bit)\n")
+        assert main(["vhdlparse", str(bad)]) == EXIT_FAILED
+
+
+# ---------------------------------------------------------------------------
+# 2: the user handed us something unusable
+# ---------------------------------------------------------------------------
+
+MISSING = "/nonexistent/nowhere.vhd"
+
+
+class TestUsageOrDataErrorIsTwo:
+    @pytest.mark.parametrize("argv", [
+        ["vhdlparse", MISSING],
+        ["diviner", MISSING, "-o", "/tmp/x.edif"],
+        ["druid", MISSING, "-o", "/tmp/x.edif"],
+        ["e2fmt", MISSING, "-o", "/tmp/x.blif"],
+        ["sis", MISSING, "-o", "/tmp/x.blif"],
+        ["tvpack", MISSING, "-o", "/tmp/x.net"],
+        ["vpr", MISSING],
+        ["flow", MISSING],
+        ["disasm", MISSING],
+    ], ids=lambda a: a[0])
+    def test_missing_input_file(self, argv, capsys):
+        assert main(argv) == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+    def test_unparseable_blif(self, tmp_path, capsys):
+        bad = tmp_path / "bad.blif"
+        bad.write_text(".model broken\n.names\nnot blif at all\n")
+        assert main(["sis", str(bad), "-o",
+                     str(tmp_path / "out.blif")]) == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_on_missing_file(self, capsys):
+        assert main(["trace", "/nonexistent/trace.jsonl"]) == EXIT_USAGE
+
+    def test_submit_needs_exactly_one_of_design_or_experiment(
+            self, vhd, capsys):
+        assert main(["submit"]) == EXIT_USAGE
+        assert main(["submit", vhd, "--experiment",
+                     "table2"]) == EXIT_USAGE
+
+    @pytest.mark.parametrize("argv", [
+        ["submit", "--experiment", "table2"],
+        ["status", "feedface00000000"],
+        ["fetch", "0" * 64],
+    ], ids=lambda a: a[0])
+    def test_service_unreachable(self, argv, capsys):
+        # Port 1 is never our server; connection refused is a usage
+        # error, reported as structured text, never a traceback.
+        assert main(argv + ["--port", "1"]) == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["frobnicate"],
+        ["exp", "table9"],
+        ["vpr"],
+    ], ids=lambda a: a[0])
+    def test_argparse_rejections(self, argv):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == EXIT_USAGE

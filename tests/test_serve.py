@@ -1,0 +1,218 @@
+"""End-to-end job-server tests over real HTTP.
+
+The acceptance path for the service: submit a design, watch per-stage
+progress stream while it runs, fetch the artifact; submit the identical
+design again and get the artifact back without re-execution.  Plus
+graceful drain with queue persistence and resume.
+"""
+
+import asyncio
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro import api
+from repro.api import JobRequest
+from repro.serve import ArtifactStore, JobServer, ServiceClient
+from tests.test_flow import COUNTER_VHDL
+
+
+@contextmanager
+def running_server(config, **kwargs):
+    """A JobServer on an ephemeral port, driven by a thread's loop."""
+    server = JobServer(config, port=0, **kwargs)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    def drive():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        ready.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=drive, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server failed to start"
+    try:
+        yield server
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(),
+                                         loop).result(60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+
+
+@pytest.fixture
+def config(tmp_path):
+    return api.Config.from_env(jobs=1,
+                               cache_dir=str(tmp_path / "cache"),
+                               run_db=str(tmp_path / "runs.db"))
+
+
+@pytest.fixture
+def artifact_dir(tmp_path):
+    return str(tmp_path / "artifacts")
+
+
+def test_submit_twice_second_is_artifact_hit(config, artifact_dir):
+    """The ISSUE acceptance test: first run executes with progress
+    events; the identical resubmission is served from the store."""
+    request = JobRequest(kind="flow", vhdl=COUNTER_VHDL)
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        client = ServiceClient(port=server.port)
+
+        first = client.submit(request)
+        assert first.state in ("queued", "running")
+        assert not first.cached
+
+        # Progress: the event stream carries flow.* stage spans and
+        # ends with the terminal event.
+        events = list(client.events(first.id))
+        stage_names = {e["stage"] for e in events
+                       if e.get("event") == "stage"}
+        assert any(s.startswith("flow.") for s in stage_names)
+        assert {"flow.synthesis", "flow.place_route"} <= stage_names
+        assert events[-1]["event"] in ("done", "failed")
+
+        first = client.wait(first.id, timeout=120)
+        assert first.state == "done"
+        assert not first.cached
+        assert first.artifact == request.content_hash()
+
+        value = client.artifact(first.artifact)
+        assert value["kind"] == "flow"
+        assert value["value"]["summary"]["circuit"] == "counter"
+
+        served_before = server.health()["served"]
+        second = client.submit(request)
+        assert second.state == "done"
+        assert second.cached
+        assert second.artifact == first.artifact
+        # Nothing executed: the terminal state came straight from the
+        # artifact store, not the executor.
+        assert server.health()["served"] == served_before
+        assert server.health()["cached_hits"] == 1
+        assert client.artifact(second.artifact) == value
+
+
+def test_experiment_over_http(config, artifact_dir):
+    request = JobRequest(kind="experiment", experiment="table2",
+                         dt=2e-12)
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        client = ServiceClient(port=server.port)
+        status = client.wait(client.submit(request).id, timeout=300)
+        assert status.state == "done"
+        value = client.artifact(status.artifact)
+        assert value["value"]["experiment"] == "table2"
+        assert value["value"]["rows"]["single_fJ"] > 0
+
+
+def test_artifact_store_shared_across_server_restarts(
+        config, artifact_dir):
+    request = JobRequest(kind="flow", vhdl=COUNTER_VHDL)
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        client = ServiceClient(port=server.port)
+        status = client.wait(client.submit(request).id, timeout=120)
+        assert status.state == "done"
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        client = ServiceClient(port=server.port)
+        status = client.submit(request)
+        assert status.state == "done" and status.cached
+
+
+def test_priority_orders_queue(config, artifact_dir, monkeypatch):
+    """Higher-priority jobs pop first once the executor frees up."""
+    gate = threading.Event()
+    entered = threading.Event()
+    ran = []
+
+    def fake_submit(request, **kwargs):
+        entered.set()
+        gate.wait(30)
+        ran.append(request.priority)
+        return api.Result(kind="flow", value={"ok": True},
+                          seconds=0.0, cached=False, artifact=None)
+
+    monkeypatch.setattr(api, "submit", fake_submit)
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        client = ServiceClient(port=server.port)
+        # Distinct seeds keep content hashes distinct (no dedup).
+        ids = [client.submit(JobRequest(kind="flow", vhdl=COUNTER_VHDL,
+                                        seed=100, priority=0)).id]
+        # Make sure the first job occupies the executor before the
+        # contenders queue up behind it.
+        assert entered.wait(10)
+        for i, prio in enumerate([1, 5]):
+            req = JobRequest(kind="flow", vhdl=COUNTER_VHDL,
+                             seed=101 + i, priority=prio)
+            ids.append(client.submit(req).id)
+        gate.set()
+        for job_id in ids:
+            assert client.wait(job_id, timeout=60).state == "done"
+    assert ran == [0, 5, 1]
+
+
+def test_drain_persists_queue_and_resume_runs_it(
+        config, artifact_dir, monkeypatch):
+    """SIGTERM semantics: in-flight finishes, queued persists; a new
+    server on the same run DB resumes and executes the backlog."""
+    gate = threading.Event()
+    real_submit = api.submit
+
+    def gated_submit(request, **kwargs):
+        gate.wait(30)
+        return real_submit(request, **kwargs)
+
+    monkeypatch.setattr(api, "submit", gated_submit)
+    queued_req = JobRequest(kind="flow", vhdl=COUNTER_VHDL, seed=42)
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        client = ServiceClient(port=server.port)
+        inflight = client.submit(JobRequest(kind="flow",
+                                            vhdl=COUNTER_VHDL))
+        deadline = time.monotonic() + 10
+        while (client.status(inflight.id).state != "running"
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        queued = client.submit(queued_req)
+        assert client.status(queued.id).state == "queued"
+
+        server.begin_drain()
+        gate.set()
+        assert server._drained.wait(60)
+        # In-flight finished; queued never started.
+        assert client.status(inflight.id).state == "done"
+        assert client.status(queued.id).state == "queued"
+
+    monkeypatch.setattr(api, "submit", real_submit)
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        assert server.health()["resumed"] == 1
+        client = ServiceClient(port=server.port)
+        # The resumed job keeps running under its persisted identity.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if ArtifactStore(artifact_dir).has(
+                    queued_req.content_hash()):
+                break
+            time.sleep(0.1)
+        assert ArtifactStore(artifact_dir).has(
+            queued_req.content_hash())
+
+    # Nothing left to resume: the queue table was cleared on load.
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        assert server.health()["resumed"] == 0
+
+
+def test_failed_job_reports_structured_error(config, artifact_dir):
+    bad = JobRequest(kind="flow",
+                     vhdl="entity broken is\nport (q : out bit)\n")
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        client = ServiceClient(port=server.port)
+        status = client.wait(client.submit(bad).id, timeout=60)
+        assert status.state == "failed"
+        assert status.error is not None
+        assert status.error.exc_type
+        assert status.error.kind == "error"
+        assert status.artifact is None

@@ -1,0 +1,229 @@
+"""Server error paths: every failure is structured JSON with the
+right HTTP status, and a misbehaving client never corrupts a job."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.api import JobRequest, MAX_BODY_BYTES
+from repro.serve import ServiceClient, ServiceError
+from tests.test_flow import COUNTER_VHDL
+from tests.test_serve import artifact_dir, config, running_server  # noqa: F401
+
+
+def _raw_exchange(port, payload: bytes) -> tuple[int, dict]:
+    """Send raw bytes, return (status, parsed JSON body)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+        s.sendall(payload)
+        s.shutdown(socket.SHUT_WR)
+        raw = b""
+        while True:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, json.loads(body)
+
+
+@pytest.fixture
+def server(config, artifact_dir):
+    with running_server(config, artifact_dir=artifact_dir) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(port=server.port)
+
+
+class TestMalformedBodies:
+    def test_not_json(self, server):
+        body = b"this is not json"
+        status, parsed = _raw_exchange(server.port, (
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)))
+        assert status == 400
+        assert parsed["error"]["code"] == "bad_request"
+        assert "JSON" in parsed["error"]["message"]
+
+    def test_json_but_not_a_request(self, server):
+        body = json.dumps([1, 2, 3]).encode()
+        status, parsed = _raw_exchange(server.port, (
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)))
+        assert status == 400
+        assert parsed["error"]["code"] == "bad_request"
+
+    def test_unknown_fields_rejected(self, server):
+        body = json.dumps({"kind": "flow", "vhdl": "entity t is end;",
+                           "sneaky": 1}).encode()
+        status, parsed = _raw_exchange(server.port, (
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)))
+        assert status == 400
+        assert "unknown" in parsed["error"]["message"]
+
+    def test_invalid_request_schema(self, server):
+        body = json.dumps({"kind": "experiment",
+                           "experiment": "fig99"}).encode()
+        status, parsed = _raw_exchange(server.port, (
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)))
+        assert status == 400
+        assert parsed["error"]["code"] == "bad_request"
+
+    def test_missing_content_length_is_411(self, server):
+        status, parsed = _raw_exchange(
+            server.port, b"POST /jobs HTTP/1.1\r\nHost: x\r\n\r\n{}")
+        assert status == 411
+        assert parsed["error"]["code"] == "length_required"
+
+    def test_oversized_body_is_413(self, server):
+        # The server rejects on the declared length before reading.
+        status, parsed = _raw_exchange(server.port, (
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\nx" % (MAX_BODY_BYTES + 1)))
+        assert status == 413
+        assert parsed["error"]["code"] == "too_large"
+
+    def test_malformed_request_line(self, server):
+        status, parsed = _raw_exchange(server.port, b"GARBAGE\r\n\r\n")
+        assert status == 400
+        assert parsed["error"]["code"] == "bad_request"
+
+
+class TestLookupErrors:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.status("deadbeef00000000")
+        assert exc.value.status == 404
+        assert exc.value.code == "unknown_job"
+
+    def test_unknown_job_events_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            list(client.events("deadbeef00000000"))
+        assert exc.value.status == 404
+        assert exc.value.code == "unknown_job"
+
+    def test_artifact_miss_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.artifact("0" * 64)
+        assert exc.value.status == 404
+        assert exc.value.code == "unknown_artifact"
+
+    def test_malformed_artifact_key_is_400(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.artifact("../../etc/passwd")
+        assert exc.value.status == 400
+
+    def test_unrouted_path_is_404(self, server):
+        status, parsed = _raw_exchange(
+            server.port, b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert status == 404
+        assert parsed["error"]["code"] == "not_found"
+
+    def test_wrong_method_is_405(self, server):
+        status, parsed = _raw_exchange(
+            server.port, b"GET /jobs HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert status == 405
+        status, parsed = _raw_exchange(server.port, (
+            b"POST /healthz HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 0\r\n\r\n"))
+        assert status == 405
+        assert parsed["error"]["code"] == "method_not_allowed"
+
+
+def test_quota_exceeded_is_429(config, artifact_dir, monkeypatch):
+    gate = threading.Event()
+    entered = threading.Event()
+
+    def fake_submit(request, **kwargs):
+        entered.set()
+        gate.wait(30)
+        return api.Result(kind="flow", value={"ok": True})
+
+    monkeypatch.setattr(api, "submit", fake_submit)
+    with running_server(config, artifact_dir=artifact_dir,
+                        quota=1) as server:
+        client = ServiceClient(port=server.port)
+        running = client.submit(JobRequest(kind="flow",
+                                           vhdl=COUNTER_VHDL, seed=1))
+        assert entered.wait(10)      # occupies the executor, not quota
+        queued = client.submit(JobRequest(kind="flow",
+                                          vhdl=COUNTER_VHDL, seed=2))
+        with pytest.raises(ServiceError) as exc:
+            client.submit(JobRequest(kind="flow", vhdl=COUNTER_VHDL,
+                                     seed=3))
+        assert exc.value.status == 429
+        assert exc.value.code == "quota_exceeded"
+        assert "default" in exc.value.message
+        # Another tenant has its own quota and is unaffected.
+        other = client.submit(JobRequest(kind="flow", vhdl=COUNTER_VHDL,
+                                         seed=3, tenant="other"))
+        gate.set()
+        for job_id in (running.id, queued.id, other.id):
+            assert client.wait(job_id, timeout=60).state == "done"
+        # The rejected job left no residue in the job table.
+        assert server.health()["jobs"] == 3
+
+
+def test_client_disconnect_mid_stream_job_completes(
+        config, artifact_dir, monkeypatch):
+    """Hanging up on the event stream must not kill the job."""
+    gate = threading.Event()
+    entered = threading.Event()
+
+    def fake_submit(request, **kwargs):
+        entered.set()
+        gate.wait(30)
+        return api.Result(kind="flow", value={"ok": True})
+
+    monkeypatch.setattr(api, "submit", fake_submit)
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        client = ServiceClient(port=server.port)
+        job = client.submit(JobRequest(kind="flow", vhdl=COUNTER_VHDL))
+        assert entered.wait(10)
+        # Open the stream, read one line, slam the socket shut.
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=10) as s:
+            s.sendall(b"GET /jobs/%s/events HTTP/1.1\r\n"
+                      b"Host: x\r\n\r\n" % job.id.encode())
+            assert s.recv(1024)      # headers + first event(s)
+        gate.set()
+        status = client.wait(job.id, timeout=60)
+        assert status.state == "done"
+        # The server is still healthy and answering.
+        assert client.health()["ok"] is True
+
+
+def test_draining_rejects_new_submissions_with_503(
+        config, artifact_dir):
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        client = ServiceClient(port=server.port)
+        server.begin_drain()
+        assert client.health()["state"] == "draining"
+        with pytest.raises(ServiceError) as exc:
+            client.submit(JobRequest(kind="flow", vhdl=COUNTER_VHDL))
+        assert exc.value.status == 503
+        assert exc.value.code == "draining"
+
+
+def test_timeout_failure_reports_kind_timeout(
+        config, artifact_dir, monkeypatch):
+    def timing_out_submit(request, **kwargs):
+        raise TimeoutError("job exceeded 0.1s")
+
+    monkeypatch.setattr(api, "submit", timing_out_submit)
+    with running_server(config, artifact_dir=artifact_dir) as server:
+        client = ServiceClient(port=server.port)
+        job = client.submit(JobRequest(kind="flow", vhdl=COUNTER_VHDL))
+        status = client.wait(job.id, timeout=30)
+        assert status.state == "failed"
+        assert status.error.kind == "timeout"
+        assert "0.1s" in status.error.message
